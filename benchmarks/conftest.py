@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper with a reduced
+workload (the ``bench`` profile) and prints the resulting rows, so a
+``pytest benchmarks/ --benchmark-only`` run doubles as a quick reproduction
+of the whole evaluation.  Set ``REPRO_PROFILE=full`` and use the experiment
+runner for paper-scale numbers.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import ExperimentProfile  # noqa: E402
+from repro.experiments.results import FigureResult, format_table  # noqa: E402
+
+#: Reduced workload used by the benchmarks.
+BENCH_PROFILE = ExperimentProfile(name="bench", n_packets=4, payload_length=40, n_sir_points=3)
+
+
+@pytest.fixture
+def bench_profile() -> ExperimentProfile:
+    """Small experiment profile shared by every benchmark."""
+    return BENCH_PROFILE
+
+
+@pytest.fixture
+def report():
+    """Print a figure result so the benchmark output shows the regenerated rows."""
+
+    def _report(result: FigureResult) -> FigureResult:
+        print()
+        print(format_table(result))
+        return result
+
+    return _report

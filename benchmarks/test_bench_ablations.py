@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These are not paper figures; they quantify the impact of individual design
+decisions of this reproduction:
+
+* interference-model scope (pooled Eq. 4 vs per-segment),
+* the CP-recycling best-segment channel estimator vs plain least squares,
+* interferer transmit-chain edge windowing (rectangular vs shaped),
+* component micro-benchmarks (batched Viterbi, segment extraction, KDE).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.interference import adjacent_channel_interferer
+from repro.channel.scenario import Scenario
+from repro.core.config import CPRecycleConfig
+from repro.core.interference_model import InterferenceModel
+from repro.core.receiver import CPRecycleReceiver
+from repro.experiments.link import packet_success_rate
+from repro.phy.convolutional import conv_encode
+from repro.phy.subcarriers import wideband_allocation
+from repro.phy.viterbi import viterbi_decode_batch
+from repro.receiver.frontend import FrontEnd
+from repro.receiver.segments import extract_segments
+from repro.receiver.standard import StandardOfdmReceiver
+
+WB = wideband_allocation(fft_size=160, start_bin=1)
+N_PACKETS = 4
+
+
+def _aci_scenario(sir_db=-20.0, edge_window=8):
+    interferer = adjacent_channel_interferer(
+        WB, sir_db=sir_db, guard_subcarriers=4, edge_window_length=edge_window
+    )
+    return Scenario(WB, mcs_name="qpsk-1/2", payload_length=40, snr_db=25.0,
+                    interferers=[interferer])
+
+
+class TestModelScopeAblation:
+    @pytest.mark.parametrize("scope", ["per-segment", "pooled"])
+    def test_model_scope(self, benchmark, scope):
+        scenario = _aci_scenario()
+        receiver = CPRecycleReceiver(CPRecycleConfig(max_segments=WB.cp_length, model_scope=scope))
+        stats = benchmark.pedantic(
+            packet_success_rate, args=(scenario, {"cprecycle": receiver}, N_PACKETS),
+            kwargs=dict(seed=1), rounds=1, iterations=1,
+        )
+        print(f"\nmodel_scope={scope}: PSR = {stats['cprecycle'].success_percent:.0f}%")
+
+
+class TestChannelEstimatorAblation:
+    @pytest.mark.parametrize("estimator", ["best-segment", "ls-reference"])
+    def test_channel_estimator(self, benchmark, estimator):
+        scenario = _aci_scenario(sir_db=-24.0)
+        receiver = CPRecycleReceiver(
+            CPRecycleConfig(max_segments=WB.cp_length),
+            front_end=FrontEnd(max_segments=WB.cp_length, channel_estimator=estimator),
+        )
+        stats = benchmark.pedantic(
+            packet_success_rate, args=(scenario, {"cprecycle": receiver}, N_PACKETS),
+            kwargs=dict(seed=2), rounds=1, iterations=1,
+        )
+        print(f"\nchannel_estimator={estimator}: PSR = {stats['cprecycle'].success_percent:.0f}%")
+
+
+class TestEdgeWindowAblation:
+    @pytest.mark.parametrize("edge_window", [0, 8])
+    def test_interferer_edge_window(self, benchmark, edge_window):
+        scenario = _aci_scenario(sir_db=-20.0, edge_window=edge_window)
+        receivers = {"standard": StandardOfdmReceiver(),
+                     "cprecycle": CPRecycleReceiver(CPRecycleConfig(max_segments=WB.cp_length))}
+        stats = benchmark.pedantic(
+            packet_success_rate, args=(scenario, receivers, N_PACKETS),
+            kwargs=dict(seed=3), rounds=1, iterations=1,
+        )
+        print(f"\nedge_window={edge_window}: standard={stats['standard'].success_percent:.0f}% "
+              f"cprecycle={stats['cprecycle'].success_percent:.0f}%")
+
+
+class TestComponentMicrobenchmarks:
+    def test_batched_viterbi(self, benchmark):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(8, 500)).astype(np.uint8)
+        bits[:, -6:] = 0
+        coded = np.stack([conv_encode(row) for row in bits])
+        decoded = benchmark(viterbi_decode_batch, coded)
+        assert np.array_equal(decoded, bits)
+
+    def test_segment_extraction(self, benchmark):
+        rx = _aci_scenario().realize(0)
+        spectra = benchmark(
+            extract_segments, rx.composite, WB, rx.spec.n_data_symbols, rx.data_start,
+            None, WB.cp_length,
+        )
+        assert spectra.shape[0] == WB.cp_length
+
+    def test_interference_model_training(self, benchmark):
+        rx = _aci_scenario().realize(1)
+        front = FrontEnd(max_segments=WB.cp_length).process(rx)
+        model = benchmark(InterferenceModel.from_front_end, front)
+        assert model.n_subcarriers == WB.n_data_subcarriers
+
+    def test_cprecycle_full_packet_decode(self, benchmark):
+        rx = _aci_scenario().realize(2)
+        receiver = CPRecycleReceiver(CPRecycleConfig(max_segments=16))
+        output = benchmark(receiver.receive, rx)
+        assert output.demodulated.decisions.shape[1] == WB.n_data_subcarriers
+
+    def test_standard_full_packet_decode(self, benchmark):
+        rx = _aci_scenario(sir_db=0.0).realize(3)
+        output = benchmark(StandardOfdmReceiver().receive, rx)
+        assert output.success

@@ -1,0 +1,34 @@
+"""Benchmark / regeneration of Figure 4 (segment opportunity analysis)."""
+
+from repro.experiments import fig04_segments
+
+
+def test_fig4a_subcarrier_profile(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig04_segments.run_subcarrier_profile, args=(bench_profile,), rounds=1, iterations=1
+    )
+    report(result)
+    standard = result.series["Standard Receiver"]
+    oracle = result.series["Oracle Receiver"]
+    # The oracle's mask is never worse and substantially better in the sender band.
+    assert all(o <= s + 1e-9 for o, s in zip(oracle, standard))
+    occupied_gain = [s - o for s, o in zip(standard[1:65], oracle[1:65])]
+    assert max(occupied_gain) > 4.0
+    assert sum(occupied_gain) / len(occupied_gain) > 1.0
+
+
+def test_fig4b_segment_profile(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig04_segments.run_segment_profile, args=(bench_profile,), rounds=1, iterations=1
+    )
+    report(result)
+    for values in result.series.values():
+        assert max(values) - min(values) > 5.0
+
+
+def test_fig4c_constellation(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig04_segments.run_constellation, args=(bench_profile,), rounds=1, iterations=1
+    )
+    report(result)
+    assert len(result.series["real"]) == 5

@@ -1,0 +1,28 @@
+"""Benchmark / regeneration of Figure 6 (kernel density interference model)."""
+
+from repro.experiments import fig06_kde
+
+
+def test_fig6a_bandwidth_illustration(benchmark, report):
+    result = benchmark(fig06_kde.run_bandwidth_illustration)
+    report(result)
+    # Smaller bandwidths give spikier densities (higher peak value).
+    assert max(result.series["Bandwidth=1"]) > max(result.series["Bandwidth=3"])
+
+
+def test_fig6b_deviation_cdf(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig06_kde.run_deviation_cdf, args=(bench_profile,), rounds=1, iterations=1
+    )
+    report(result)
+    # Stronger interference produces larger deviation amplitudes at the median.
+    median_index = result.x_values.index(0.5)
+    assert (
+        result.series["Samples SIR -30 dB"][median_index]
+        > result.series["Samples SIR -10 dB"][median_index]
+    )
+    # The preamble-trained model tracks the measured CDF within a few dB.
+    for sir in (-10.0, -20.0, -30.0):
+        sample = result.series[f"Samples SIR {sir:g} dB"][median_index]
+        model = result.series[f"Model SIR {sir:g} dB"][median_index]
+        assert abs(sample - model) < 10.0

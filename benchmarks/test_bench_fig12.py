@@ -1,0 +1,15 @@
+"""Benchmark / regeneration of Figure 12 (PSR vs SIR, two CCI interferers)."""
+
+from repro.experiments import fig12_cci_two
+
+
+def test_fig12_psr_vs_sir_two_cci(benchmark, bench_profile, report):
+    result = benchmark.pedantic(
+        fig12_cci_two.run,
+        kwargs=dict(profile=bench_profile, mcs_names=("qpsk-1/2", "16qam-1/2"),
+                    sir_range_db=(0.0, 20.0)),
+        rounds=1,
+        iterations=1,
+    )
+    report(result)
+    assert result.series["QPSK (1/2) With CPRecycle"][-1] >= 75.0

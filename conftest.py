@@ -1,0 +1,13 @@
+"""Make the in-tree package importable when it has not been pip-installed.
+
+Offline evaluation environments sometimes lack the ``wheel`` package that
+``pip install -e .`` needs; inserting ``src/`` on ``sys.path`` lets
+``pytest`` run either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

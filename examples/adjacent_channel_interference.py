@@ -1,0 +1,36 @@
+"""Adjacent-channel interference study (the paper's headline scenario).
+
+Sweeps the signal-to-interference ratio for a sender flanked by an
+adjacent-channel interferer on the same wideband grid and compares four
+receivers: standard, naive multi-segment, genie Oracle and CPRecycle.
+This is a scaled-down interactive version of Figure 8 / Figure 5.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_receivers, packet_success_rate
+from repro.experiments.config import aci_scenario
+
+SIR_VALUES_DB = (-12.0, -18.0, -24.0, -28.0)
+N_PACKETS = 8
+
+
+def main() -> None:
+    print("Adjacent-channel interference, QPSK 1/2, 64-subcarrier sender block")
+    print(f"{'SIR (dB)':>9} | {'standard':>9} {'naive':>9} {'oracle':>9} {'cprecycle':>9}")
+    print("-" * 55)
+    for sir_db in SIR_VALUES_DB:
+        scenario = aci_scenario("qpsk-1/2", sir_db=sir_db, payload_length=60)
+        receivers = build_receivers(
+            scenario.allocation, ("standard", "naive", "oracle", "cprecycle")
+        )
+        stats = packet_success_rate(scenario, receivers, N_PACKETS, seed=42)
+        row = " ".join(f"{stats[name].success_percent:8.0f}%" for name in
+                       ("standard", "naive", "oracle", "cprecycle"))
+        print(f"{sir_db:9.1f} | {row}")
+    print("\nThe Oracle bounds what FFT-segment selection can achieve; CPRecycle")
+    print("approaches it blindly using only the preamble-trained interference model.")
+
+
+if __name__ == "__main__":
+    main()

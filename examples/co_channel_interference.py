@@ -1,0 +1,36 @@
+"""Co-channel interference study (hidden terminals, femtocells).
+
+Sweeps the SIR for an 802.11g link whose channel is shared by a second,
+unsynchronised transmitter (carrier sensing disabled), for several MCS
+modes — a scaled-down interactive version of Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_receivers, packet_success_rate
+from repro.experiments.config import cci_scenario
+
+SIR_VALUES_DB = (15.0, 10.0, 5.0, 0.0)
+MCS_MODES = ("qpsk-1/2", "16qam-1/2", "64qam-2/3")
+N_PACKETS = 6
+
+
+def main() -> None:
+    print("Co-channel interference on an 802.11g link (single interferer)")
+    for mcs in MCS_MODES:
+        print(f"\nMCS {mcs}")
+        print(f"{'SIR (dB)':>9} | {'without CPRecycle':>18} {'with CPRecycle':>15}")
+        print("-" * 48)
+        for sir_db in SIR_VALUES_DB:
+            scenario = cci_scenario(mcs, sir_db=sir_db, payload_length=60)
+            receivers = build_receivers(scenario.allocation, ("standard", "cprecycle"))
+            stats = packet_success_rate(scenario, receivers, N_PACKETS, seed=7)
+            print(f"{sir_db:9.1f} | {stats['standard'].success_percent:17.0f}% "
+                  f"{stats['cprecycle'].success_percent:14.0f}%")
+    print("\nThe extra interference CPRecycle tolerates translates directly into a")
+    print("higher energy-detection threshold and fewer interfering neighbours")
+    print("(see examples/network_capacity.py).")
+
+
+if __name__ == "__main__":
+    main()

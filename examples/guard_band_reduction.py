@@ -1,0 +1,39 @@
+"""Guard-band reduction for spectrum sharing (cognitive-radio scenario).
+
+A secondary user is allocated a block of subcarriers next to a much stronger
+legacy transmitter.  The example sweeps the guard band between the two blocks
+and reports the packet success rate with and without CPRecycle — showing how
+much closer to the incumbent the secondary user can operate (Figure 10's
+argument).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_receivers, packet_success_rate
+from repro.experiments.config import aci_scenario
+from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
+
+GUARD_SUBCARRIERS = (0, 8, 16, 32, 64)
+SIR_DB = -20.0  # the incumbent is 100x stronger
+N_PACKETS = 8
+
+
+def main() -> None:
+    print(f"Secondary user next to a legacy transmitter ({-SIR_DB:.0f} dB stronger), 16-QAM 1/2")
+    print(f"{'guard band':>12} | {'without CPRecycle':>18} {'with CPRecycle':>15}")
+    print("-" * 52)
+    for guard in GUARD_SUBCARRIERS:
+        scenario = aci_scenario(
+            "16qam-1/2", sir_db=SIR_DB, payload_length=60, guard_subcarriers=guard
+        )
+        receivers = build_receivers(scenario.allocation, ("standard", "cprecycle"))
+        stats = packet_success_rate(scenario, receivers, N_PACKETS, seed=11)
+        guard_mhz = guard * DOT11G_SUBCARRIER_SPACING_HZ / 1e6
+        print(f"{guard_mhz:9.2f} MHz | {stats['standard'].success_percent:17.0f}% "
+              f"{stats['cprecycle'].success_percent:14.0f}%")
+    print("\nA sharper effective spectrum mask at the receiver means the same packet")
+    print("success rate is reached with a much narrower guard band, freeing spectrum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Quickstart: decode one interfered packet with and without CPRecycle.
+
+Builds an 802.11g-style frame, passes it through a channel with a strong
+co-channel interferer, and decodes it with the standard OFDM receiver and
+with CPRecycle.  Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro.channel import Scenario, co_channel_interferer
+from repro.core import CPRecycleReceiver
+from repro.phy import dot11g_allocation
+from repro.receiver import StandardOfdmReceiver
+
+
+def main() -> None:
+    allocation = dot11g_allocation()
+    scenario = Scenario(
+        allocation,
+        mcs_name="qpsk-1/2",
+        payload_length=100,
+        snr_db=25.0,
+        interferers=[co_channel_interferer(allocation, sir_db=6.0)],
+    )
+
+    standard = StandardOfdmReceiver()
+    cprecycle = CPRecycleReceiver()
+
+    print("Decoding 10 packets at 6 dB SIR (co-channel interferer, QPSK 1/2)...")
+    standard_ok = cprecycle_ok = 0
+    for seed in range(10):
+        rx = scenario.realize(seed)
+        standard_ok += standard.receive(rx).success
+        cprecycle_ok += cprecycle.receive(rx).success
+    print(f"  standard OFDM receiver : {standard_ok}/10 packets decoded")
+    print(f"  CPRecycle receiver     : {cprecycle_ok}/10 packets decoded")
+
+    rx = scenario.realize(0)
+    print("\nPer-packet details for the first packet:")
+    print(f"  realised SNR: {rx.snr_db:5.1f} dB, realised SIR: {rx.sir_db:5.1f} dB")
+    print(f"  ISI-free cyclic prefix samples (P): {rx.isi_free_cp_samples}")
+    out = cprecycle.receive(rx)
+    print(f"  CPRecycle payload matches transmitted payload: "
+          f"{out.payload == rx.tx_frame.payload}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs also work on minimal environments that lack the
+``wheel`` package (offline evaluation machines), where pip falls back to the
+legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Channel substrate: noise, multipath, impairments, interference, scenarios."""
+
+from repro.channel.awgn import add_awgn, awgn_for_snr, complex_awgn
+from repro.channel.impairments import Impairments
+from repro.channel.interference import (
+    InterfererSpec,
+    RealizedInterference,
+    adjacent_channel_interferer,
+    co_channel_interferer,
+    realize_interference,
+)
+from repro.channel.multipath import (
+    ChannelModel,
+    ExponentialMultipathChannel,
+    FlatChannel,
+    StaticTapChannel,
+    apply_channel,
+    rms_delay_spread,
+)
+from repro.channel.scenario import ReceivedWaveform, Scenario
+
+__all__ = [
+    "ChannelModel",
+    "ExponentialMultipathChannel",
+    "FlatChannel",
+    "Impairments",
+    "InterfererSpec",
+    "RealizedInterference",
+    "ReceivedWaveform",
+    "Scenario",
+    "StaticTapChannel",
+    "add_awgn",
+    "adjacent_channel_interferer",
+    "apply_channel",
+    "awgn_for_snr",
+    "co_channel_interferer",
+    "complex_awgn",
+    "realize_interference",
+    "rms_delay_spread",
+]

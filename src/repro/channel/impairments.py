@@ -1,0 +1,92 @@
+"""Radio front-end impairments.
+
+These model the transmitter/receiver non-idealities the paper mentions as
+sources of decoding error beyond interference: carrier frequency offset,
+oscillator phase noise and (for completeness) IQ imbalance.  They are applied
+to time-domain waveforms and are disabled by default in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.dsp import frequency_shift
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Impairments", "apply_cfo", "apply_phase_noise", "apply_iq_imbalance"]
+
+
+def apply_cfo(waveform: np.ndarray, cfo_hz: float, sample_rate_hz: float) -> np.ndarray:
+    """Apply a carrier frequency offset of ``cfo_hz``."""
+    if cfo_hz == 0:
+        return np.asarray(waveform).copy()
+    return frequency_shift(waveform, cfo_hz, sample_rate_hz)
+
+
+def apply_phase_noise(
+    waveform: np.ndarray,
+    linewidth_hz: float,
+    sample_rate_hz: float,
+    rng: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Apply Wiener (random-walk) phase noise with the given 3 dB linewidth."""
+    waveform = np.asarray(waveform)
+    if linewidth_hz == 0:
+        return waveform.copy()
+    if linewidth_hz < 0:
+        raise ValueError("linewidth_hz must be non-negative")
+    rng = ensure_rng(rng)
+    variance_per_sample = 2.0 * np.pi * linewidth_hz / sample_rate_hz
+    increments = rng.normal(0.0, np.sqrt(variance_per_sample), size=waveform.size)
+    phase = np.cumsum(increments)
+    return waveform * np.exp(1j * phase)
+
+
+def apply_iq_imbalance(
+    waveform: np.ndarray, amplitude_imbalance_db: float = 0.0, phase_imbalance_deg: float = 0.0
+) -> np.ndarray:
+    """Apply transmitter IQ gain/phase imbalance."""
+    waveform = np.asarray(waveform)
+    if amplitude_imbalance_db == 0.0 and phase_imbalance_deg == 0.0:
+        return waveform.copy()
+    g = 10.0 ** (amplitude_imbalance_db / 20.0)
+    phi = np.deg2rad(phase_imbalance_deg)
+    alpha = 0.5 * (1.0 + g * np.exp(1j * phi))
+    beta = 0.5 * (1.0 - g * np.exp(1j * phi))
+    return alpha * waveform + beta * np.conj(waveform)
+
+
+@dataclass(frozen=True)
+class Impairments:
+    """A bundle of front-end impairments applied to one transmitter's signal."""
+
+    cfo_hz: float = 0.0
+    phase_noise_linewidth_hz: float = 0.0
+    iq_amplitude_imbalance_db: float = 0.0
+    iq_phase_imbalance_deg: float = 0.0
+
+    def apply(
+        self,
+        waveform: np.ndarray,
+        sample_rate_hz: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Apply all configured impairments to a waveform."""
+        out = apply_iq_imbalance(
+            waveform, self.iq_amplitude_imbalance_db, self.iq_phase_imbalance_deg
+        )
+        out = apply_cfo(out, self.cfo_hz, sample_rate_hz)
+        out = apply_phase_noise(out, self.phase_noise_linewidth_hz, sample_rate_hz, rng)
+        return out
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when no impairment is configured."""
+        return (
+            self.cfo_hz == 0.0
+            and self.phase_noise_linewidth_hz == 0.0
+            and self.iq_amplitude_imbalance_db == 0.0
+            and self.iq_phase_imbalance_deg == 0.0
+        )

@@ -1,0 +1,149 @@
+"""Multipath channel models.
+
+Indoor propagation measurements (paper section 2.2 and its references) show
+delay spreads of tens to a few hundred nanoseconds — far below the 0.8 us
+cyclic prefix of 802.11 — which is exactly the over-provisioning CPRecycle
+recycles.  The models here generate tapped-delay-line impulse responses with
+an exponentially decaying power delay profile and Rayleigh (or Rician
+first-tap) fading, normalised to unit energy so that SNR/SIR calibration is
+unaffected by the channel draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "ChannelModel",
+    "FlatChannel",
+    "ExponentialMultipathChannel",
+    "StaticTapChannel",
+    "apply_channel",
+    "rms_delay_spread",
+]
+
+
+def apply_channel(waveform: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Convolve a waveform with a channel impulse response (full tail kept)."""
+    waveform = np.asarray(waveform, dtype=complex)
+    taps = np.asarray(taps, dtype=complex)
+    if taps.size == 0:
+        raise ValueError("channel taps must contain at least one tap")
+    return np.convolve(waveform, taps)
+
+
+def rms_delay_spread(taps: np.ndarray, sample_rate_hz: float) -> float:
+    """RMS delay spread (seconds) of an impulse response."""
+    taps = np.asarray(taps)
+    power = np.abs(taps) ** 2
+    total = power.sum()
+    if total == 0:
+        raise ValueError("channel taps carry no energy")
+    delays = np.arange(taps.size) / sample_rate_hz
+    mean_delay = (power * delays).sum() / total
+    return float(np.sqrt((power * (delays - mean_delay) ** 2).sum() / total))
+
+
+class ChannelModel:
+    """Base class: a channel model draws an impulse response per realisation."""
+
+    #: Number of taps of the generated impulse responses (excess delay + 1).
+    max_taps: int = 1
+
+    def sample_taps(self, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        """Draw one impulse response (unit energy)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FlatChannel(ChannelModel):
+    """A single-tap channel: optional fixed gain and phase, no delay spread."""
+
+    gain: complex = 1.0 + 0.0j
+
+    @property
+    def max_taps(self) -> int:  # type: ignore[override]
+        return 1
+
+    def sample_taps(self, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        return np.array([self.gain], dtype=complex)
+
+
+@dataclass(frozen=True)
+class StaticTapChannel(ChannelModel):
+    """A channel with caller-provided static taps (normalised to unit energy)."""
+
+    taps: tuple[complex, ...]
+
+    @property
+    def max_taps(self) -> int:  # type: ignore[override]
+        return len(self.taps)
+
+    def sample_taps(self, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        taps = np.asarray(self.taps, dtype=complex)
+        energy = np.sum(np.abs(taps) ** 2)
+        if energy == 0:
+            raise ValueError("static taps carry no energy")
+        return taps / np.sqrt(energy)
+
+
+@dataclass(frozen=True)
+class ExponentialMultipathChannel(ChannelModel):
+    """Rayleigh tapped-delay-line channel with exponential power delay profile.
+
+    Parameters
+    ----------
+    delay_spread_s:
+        RMS delay spread of the exponential profile (e.g. 50e-9 for a typical
+        office).  The number of taps covers roughly five delay spreads.
+    sample_rate_hz:
+        Sample rate at which the impulse response is realised.
+    rician_k_db:
+        Rician K-factor of the first tap; ``None`` gives pure Rayleigh taps.
+    """
+
+    delay_spread_s: float
+    sample_rate_hz: float
+    rician_k_db: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.delay_spread_s < 0:
+            raise ValueError("delay_spread_s must be non-negative")
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+
+    @property
+    def n_taps(self) -> int:
+        """Number of taps of the realised impulse responses."""
+        if self.delay_spread_s == 0:
+            return 1
+        spread_samples = self.delay_spread_s * self.sample_rate_hz
+        return max(1, int(np.ceil(5.0 * spread_samples)) + 1)
+
+    @property
+    def max_taps(self) -> int:  # type: ignore[override]
+        return self.n_taps
+
+    def sample_taps(self, rng: int | np.random.Generator | None = None) -> np.ndarray:
+        rng = ensure_rng(rng)
+        n_taps = self.n_taps
+        if n_taps == 1:
+            profile = np.array([1.0])
+        else:
+            spread_samples = self.delay_spread_s * self.sample_rate_hz
+            delays = np.arange(n_taps)
+            profile = np.exp(-delays / spread_samples)
+            profile /= profile.sum()
+        taps = np.sqrt(profile / 2.0) * (
+            rng.standard_normal(n_taps) + 1j * rng.standard_normal(n_taps)
+        )
+        if self.rician_k_db is not None:
+            k = 10.0 ** (self.rician_k_db / 10.0)
+            los = np.sqrt(k / (k + 1.0) * profile[0])
+            taps[0] = los + taps[0] / np.sqrt(k + 1.0)
+        energy = np.sum(np.abs(taps) ** 2)
+        return taps / np.sqrt(energy)

@@ -1,0 +1,212 @@
+"""Scenario composition: sender + channel + interferers + noise.
+
+A :class:`Scenario` describes one link-level experiment point (allocation,
+MCS, SNR, interferer set).  Each call to :meth:`Scenario.realize` draws a new
+packet, channel, interference and noise realisation and returns a
+:class:`ReceivedWaveform` containing both the composite samples a real
+receiver would see and the individual components (genie information used by
+the Oracle baseline and by the interference-analysis figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.awgn import complex_awgn
+from repro.channel.impairments import Impairments
+from repro.channel.interference import InterfererSpec, RealizedInterference, realize_interference
+from repro.channel.multipath import ChannelModel, FlatChannel, apply_channel
+from repro.phy.frame import FrameSpec
+from repro.phy.subcarriers import OfdmAllocation
+from repro.phy.transmitter import OfdmTransmitter, TxFrame
+from repro.utils.dsp import db_to_linear, signal_power
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Scenario", "ReceivedWaveform"]
+
+
+@dataclass(frozen=True)
+class ReceivedWaveform:
+    """Everything the channel hands to a receiver for one packet.
+
+    ``composite`` is what a real receiver observes.  The remaining fields are
+    genie information: they are consumed only by oracle baselines, by the
+    interference-analysis experiments (Fig. 4) and by tests.
+    """
+
+    composite: np.ndarray = field(repr=False)
+    signal: np.ndarray = field(repr=False)
+    interference: np.ndarray = field(repr=False)
+    noise: np.ndarray = field(repr=False)
+    frame_start: int
+    tx_frame: TxFrame
+    channel_taps: np.ndarray = field(repr=False)
+    interferers: tuple[RealizedInterference, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> FrameSpec:
+        """Frame format of the desired transmission."""
+        return self.tx_frame.spec
+
+    @property
+    def allocation(self) -> OfdmAllocation:
+        """Subcarrier allocation of the desired transmission."""
+        return self.spec.allocation
+
+    @property
+    def preamble_start(self) -> int:
+        """Buffer index of the first training symbol."""
+        return self.frame_start + self.spec.preamble_start
+
+    @property
+    def data_start(self) -> int:
+        """Buffer index of the first data symbol."""
+        return self.frame_start + self.spec.data_start
+
+    @property
+    def channel_delay_samples(self) -> int:
+        """Excess delay of the desired channel in samples (taps - 1)."""
+        return int(self.channel_taps.size) - 1
+
+    @property
+    def isi_free_cp_samples(self) -> int:
+        """Genie count of ISI-free cyclic prefix samples (the paper's P)."""
+        return max(self.allocation.cp_length - self.channel_delay_samples, 1)
+
+    def _frame_slice(self) -> slice:
+        return slice(self.frame_start, self.frame_start + self.spec.n_samples)
+
+    @property
+    def snr_db(self) -> float:
+        """Realised signal-to-noise ratio over the frame extent."""
+        window = self._frame_slice()
+        return 10.0 * np.log10(
+            signal_power(self.signal[window]) / signal_power(self.noise[window])
+        )
+
+    @property
+    def sir_db(self) -> float:
+        """Realised signal-to-total-interference ratio over the frame extent."""
+        window = self._frame_slice()
+        interference_power = signal_power(self.interference[window])
+        if interference_power == 0:
+            return float("inf")
+        return 10.0 * np.log10(signal_power(self.signal[window]) / interference_power)
+
+    def interference_plus_noise(self) -> np.ndarray:
+        """The composite minus the desired signal (for oracle analyses)."""
+        return self.interference + self.noise
+
+
+class Scenario:
+    """A repeatable link-level scenario.
+
+    Parameters
+    ----------
+    allocation:
+        Sender subcarrier allocation.
+    mcs_name:
+        Sender modulation and coding scheme.
+    payload_length:
+        MAC payload size in bytes (the paper uses 400-byte packets).
+    snr_db:
+        Signal-to-noise ratio at the receiver.
+    interferers:
+        Zero or more :class:`InterfererSpec`.
+    channel:
+        Propagation channel of the desired link.
+    impairments:
+        Optional front-end impairments applied to the desired signal.
+    n_preamble_symbols:
+        Number of training symbols (the paper's ``Np``).
+    pad_symbols:
+        Idle symbol durations inserted before and after the frame (gives sync
+        algorithms room and lets interference cover the whole frame).
+    include_stf:
+        Prepend a short training field (only needed for real packet detection).
+    """
+
+    def __init__(
+        self,
+        allocation: OfdmAllocation,
+        mcs_name: str = "qpsk-1/2",
+        payload_length: int = 100,
+        snr_db: float = 30.0,
+        interferers: tuple[InterfererSpec, ...] | list[InterfererSpec] = (),
+        channel: ChannelModel | None = None,
+        impairments: Impairments | None = None,
+        n_preamble_symbols: int = 2,
+        pad_symbols: int = 2,
+        include_stf: bool = False,
+    ):
+        self.allocation = allocation
+        self.mcs_name = mcs_name
+        self.payload_length = payload_length
+        self.snr_db = snr_db
+        self.interferers = tuple(interferers)
+        self.channel = channel if channel is not None else FlatChannel()
+        self.impairments = impairments if impairments is not None else Impairments()
+        self.n_preamble_symbols = n_preamble_symbols
+        self.pad_symbols = pad_symbols
+        self.include_stf = include_stf
+        self._transmitter = OfdmTransmitter(
+            allocation,
+            mcs_name=mcs_name,
+            n_preamble_symbols=n_preamble_symbols,
+            include_stf=include_stf,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def frame_spec(self) -> FrameSpec:
+        """Frame format produced by this scenario."""
+        return self._transmitter.frame_spec(self.payload_length)
+
+    def realize(self, rng: int | np.random.Generator | None = None) -> ReceivedWaveform:
+        """Draw one packet, channel, interference and noise realisation."""
+        rng = ensure_rng(rng)
+        frame = self._transmitter.random_frame(self.payload_length, rng)
+
+        taps = self.channel.sample_taps(rng)
+        faded = apply_channel(frame.waveform, taps)
+        if not self.impairments.is_ideal:
+            faded = self.impairments.apply(faded, self.allocation.sample_rate_hz, rng)
+
+        pad = self.pad_symbols * self.allocation.symbol_length
+        n_samples = pad + faded.size + pad
+        frame_start = pad
+
+        signal = np.zeros(n_samples, dtype=complex)
+        signal[frame_start : frame_start + faded.size] = faded
+        reference_power = signal_power(faded)
+
+        realized: list[RealizedInterference] = []
+        interference = np.zeros(n_samples, dtype=complex)
+        for index, spec in enumerate(self.interferers):
+            component = realize_interference(
+                spec,
+                n_samples=n_samples,
+                reference_power=reference_power,
+                frame_start=frame_start,
+                rng=rng,
+            )
+            interference += component.component
+            realized.append(component)
+
+        noise_power = reference_power / db_to_linear(self.snr_db)
+        noise = complex_awgn(n_samples, noise_power, rng)
+
+        composite = signal + interference + noise
+        return ReceivedWaveform(
+            composite=composite,
+            signal=signal,
+            interference=interference,
+            noise=noise,
+            frame_start=frame_start,
+            tx_frame=frame,
+            channel_taps=taps,
+            interferers=tuple(realized),
+        )

@@ -1,0 +1,27 @@
+"""CPRecycle core: interference model, fixed-sphere ML decoder, receivers."""
+
+from repro.core.config import CPRecycleConfig
+from repro.core.interference_model import InterferenceModel
+from repro.core.kde import GaussianProductKde, silverman_bandwidth, wrap_phase
+from repro.core.ml_decoder import FixedSphereMlDecoder
+from repro.core.naive import NaiveSegmentReceiver, naive_decide_symbols
+from repro.core.oracle import OracleSegmentReceiver, interference_power_per_segment
+from repro.core.receiver import CPRecycleReceiver
+from repro.core.sphere import SphereCandidates, centroid, select_sphere_candidates
+
+__all__ = [
+    "CPRecycleConfig",
+    "CPRecycleReceiver",
+    "FixedSphereMlDecoder",
+    "GaussianProductKde",
+    "InterferenceModel",
+    "NaiveSegmentReceiver",
+    "OracleSegmentReceiver",
+    "SphereCandidates",
+    "centroid",
+    "interference_power_per_segment",
+    "naive_decide_symbols",
+    "select_sphere_candidates",
+    "silverman_bandwidth",
+    "wrap_phase",
+]

@@ -1,0 +1,87 @@
+"""Configuration of the CPRecycle receiver (the paper's tunable parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CPRecycleConfig"]
+
+
+@dataclass(frozen=True)
+class CPRecycleConfig:
+    """Tunable parameters of the CPRecycle receiver (Algorithm 1).
+
+    Attributes
+    ----------
+    n_segments:
+        Number of FFT segments ``P`` to use.  ``None`` uses every ISI-free
+        cyclic prefix sample reported by the front end (capped by
+        ``max_segments``).  Lower values trade interference mitigation for
+        computation and degrade gracefully to the standard receiver at 1
+        (paper section 6 / Fig. 14).
+    max_segments:
+        Upper bound on ``P`` when ``n_segments`` is ``None``.
+    sphere_radius_scale:
+        Radius ``R`` of the fixed-sphere candidate search, expressed as a
+        multiple of the constellation's minimum lattice distance.  The sphere
+        is centred at the centroid of the ``P`` observations (paper Fig. 6c).
+    max_candidates:
+        Hard cap on the number of lattice points evaluated per subcarrier —
+        bounds the decoder's per-symbol cost for dense constellations.
+    bandwidth_amplitude / bandwidth_phase:
+        Kernel bandwidths ``Ba`` and ``Bphi`` of the bivariate Gaussian
+        product kernel density estimate (paper Eq. 4).  ``None`` selects them
+        per subcarrier with Silverman's rule from the preamble samples (the
+        paper's data-driven choice).
+    amplitude_weight / phase_weight:
+        Relative weights of the amplitude and phase kernels, the paper's
+        tuning knob for decoupling amplitude and phase effects.
+    min_bandwidth_amplitude / min_bandwidth_phase:
+        Floors applied to the data-driven bandwidths so that an
+        interference-free preamble (all deviations almost identical) does not
+        collapse the density into a delta function.
+    model_scope:
+        ``"per-segment"`` (default) keeps one density per (subcarrier, FFT
+        segment), exploiting the fact that an unsynchronised interferer's
+        clean/dirty segment pattern persists from the preamble to the data
+        symbols.  ``"pooled"`` pools all segments into one density per
+        subcarrier — the literal construction of the paper's Eq. 4.
+    """
+
+    n_segments: int | None = None
+    max_segments: int = 16
+    sphere_radius_scale: float = 2.5
+    max_candidates: int = 16
+    bandwidth_amplitude: float | None = None
+    bandwidth_phase: float | None = None
+    amplitude_weight: float = 1.0
+    phase_weight: float = 0.25
+    min_bandwidth_amplitude: float = 0.02
+    min_bandwidth_phase: float = 0.5
+    model_scope: str = "per-segment"
+
+    def __post_init__(self) -> None:
+        if self.n_segments is not None and self.n_segments < 1:
+            raise ValueError("n_segments must be at least 1")
+        if self.max_segments < 1:
+            raise ValueError("max_segments must be at least 1")
+        if self.sphere_radius_scale <= 0:
+            raise ValueError("sphere_radius_scale must be positive")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be at least 1")
+        for label, value in (
+            ("bandwidth_amplitude", self.bandwidth_amplitude),
+            ("bandwidth_phase", self.bandwidth_phase),
+        ):
+            if value is not None and value <= 0:
+                raise ValueError(f"{label} must be positive when given")
+        if self.amplitude_weight < 0 or self.phase_weight < 0:
+            raise ValueError("kernel weights must be non-negative")
+        if self.amplitude_weight == 0 and self.phase_weight == 0:
+            raise ValueError("at least one of the kernel weights must be positive")
+        if self.min_bandwidth_amplitude <= 0 or self.min_bandwidth_phase <= 0:
+            raise ValueError("bandwidth floors must be positive")
+        if self.model_scope not in ("pooled", "per-segment"):
+            raise ValueError(
+                f"model_scope must be 'pooled' or 'per-segment', got {self.model_scope!r}"
+            )

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation."""
+
+from repro.experiments.config import (
+    FULL_PROFILE,
+    PAPER_MCS_SET,
+    QUICK_PROFILE,
+    SNR_FOR_MCS,
+    ExperimentProfile,
+    aci_scenario,
+    build_receivers,
+    cci_scenario,
+    default_profile,
+)
+from repro.experiments.link import PacketStats, packet_success_rate, symbol_error_rate
+from repro.experiments.results import FigureResult, format_table
+
+__all__ = [
+    "ExperimentProfile",
+    "FULL_PROFILE",
+    "FigureResult",
+    "PAPER_MCS_SET",
+    "PacketStats",
+    "QUICK_PROFILE",
+    "SNR_FOR_MCS",
+    "aci_scenario",
+    "build_receivers",
+    "cci_scenario",
+    "default_profile",
+    "format_table",
+    "packet_success_rate",
+    "symbol_error_rate",
+]

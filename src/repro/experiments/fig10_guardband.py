@@ -1,0 +1,68 @@
+"""Figure 10 — guard band needed next to a legacy OFDM transmitter.
+
+Packet success rate versus guard-band width for 16-QAM at SIR -10/-20/-30 dB,
+with and without CPRecycle.  The paper's spectrum-efficiency argument: with
+CPRecycle a cognitive user can be packed much closer to a strong incumbent
+for the same packet success rate.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentProfile, aci_scenario, build_receivers, default_profile
+from repro.experiments.link import packet_success_rate
+from repro.experiments.results import FigureResult
+from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
+
+__all__ = ["run", "main", "GUARD_BAND_SUBCARRIERS"]
+
+#: Guard-band sweep in subcarriers (0 to 30 MHz at 312.5 kHz spacing).
+GUARD_BAND_SUBCARRIERS: tuple[int, ...] = (0, 16, 32, 64, 96)
+
+MCS_NAME = "16qam-1/2"
+RECEIVER_NAMES = ("standard", "cprecycle")
+
+
+def run(
+    profile: ExperimentProfile | None = None,
+    sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
+    guard_band_subcarriers: tuple[int, ...] = GUARD_BAND_SUBCARRIERS,
+) -> FigureResult:
+    """Packet success rate vs guard band, with and without CPRecycle."""
+    profile = profile or default_profile()
+    series: dict[str, list[float]] = {}
+    guard_mhz = [round(g * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3) for g in guard_band_subcarriers]
+    for sir_db in sir_values_db:
+        for guard in guard_band_subcarriers:
+            scenario = aci_scenario(
+                MCS_NAME,
+                sir_db=sir_db,
+                payload_length=profile.payload_length,
+                guard_subcarriers=guard,
+                two_sided=False,
+            )
+            receivers = build_receivers(scenario.allocation, RECEIVER_NAMES)
+            stats = packet_success_rate(scenario, receivers, profile.n_packets, seed=profile.seed)
+            for name in RECEIVER_NAMES:
+                label = (
+                    f"SIR {sir_db:g} dB, "
+                    + ("With CPRecycle" if name == "cprecycle" else "Without CPRecycle")
+                )
+                series.setdefault(label, []).append(stats[name].success_percent)
+    return FigureResult(
+        figure="Figure 10",
+        title=f"PSR vs guard band with an adjacent legacy transmitter ({MCS_NAME})",
+        x_label="Guard band (MHz)",
+        x_values=guard_mhz,
+        series=series,
+    )
+
+
+def main() -> None:
+    """Print Figure 10."""
+    from repro.experiments.results import format_table
+
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

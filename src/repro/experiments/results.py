@@ -1,0 +1,72 @@
+"""Result containers and plain-text rendering for the experiment harness.
+
+Every experiment returns a :class:`FigureResult`: the x-axis values, one named
+series per curve of the corresponding paper figure, and free-form notes.  The
+``format_table`` helper renders the same rows/series the paper plots, so the
+benchmark harness and the command-line runner can print them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FigureResult", "format_table"]
+
+
+@dataclass
+class FigureResult:
+    """One regenerated table or figure."""
+
+    figure: str
+    title: str
+    x_label: str
+    x_values: list[float | str]
+    series: dict[str, list[float]]
+    y_label: str = "Packet Success Rate (%)"
+    notes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} points but the x-axis has "
+                    f"{len(self.x_values)}"
+                )
+
+    def series_names(self) -> list[str]:
+        """Names of the plotted curves."""
+        return list(self.series)
+
+    def as_rows(self) -> list[dict[str, float | str]]:
+        """Row-oriented view (one row per x value)."""
+        rows = []
+        for index, x in enumerate(self.x_values):
+            row: dict[str, float | str] = {self.x_label: x}
+            for name, values in self.series.items():
+                row[name] = values[index]
+            rows.append(row)
+        return rows
+
+
+def format_table(result: FigureResult, float_format: str = "{:8.2f}") -> str:
+    """Render a :class:`FigureResult` as an aligned plain-text table."""
+    headers = [result.x_label, *result.series_names()]
+    rows = []
+    for index, x in enumerate(result.x_values):
+        cells = [str(x)]
+        for name in result.series_names():
+            value = result.series[name][index]
+            cells.append(float_format.format(value) if isinstance(value, (int, float)) else str(value))
+        rows.append(cells)
+    widths = [max(len(headers[col]), *(len(row[col]) for row in rows)) for col in range(len(headers))]
+    lines = [
+        f"{result.figure}: {result.title}",
+        f"(y: {result.y_label})",
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+Usage::
+
+    cprecycle-experiments                # run everything with the quick profile
+    cprecycle-experiments fig8 fig11     # run a subset
+    cprecycle-experiments --profile full # paper-scale run (hours)
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Callable
+
+from repro.experiments import (
+    fig04_segments,
+    fig05_naive,
+    fig06_kde,
+    fig08_aci_single,
+    fig09_aci_two,
+    fig10_guardband,
+    fig11_cci_single,
+    fig12_cci_two,
+    fig13_network,
+    fig14_segment_sweep,
+    table01_cp,
+)
+from repro.experiments.config import FULL_PROFILE, QUICK_PROFILE, ExperimentProfile
+from repro.experiments.results import format_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "table1": table01_cp.run_isi_free_analysis,
+    "fig4": fig04_segments.run,
+    "fig5": fig05_naive.run,
+    "fig6": fig06_kde.run,
+    "fig8": fig08_aci_single.run,
+    "fig9": fig09_aci_two.run,
+    "fig10": fig10_guardband.run,
+    "fig11": fig11_cci_single.run,
+    "fig12": fig12_cci_two.run,
+    "fig13": fig13_network.run,
+    "fig14": fig14_segment_sweep.run,
+}
+
+_NO_PROFILE_ARG = {"table1"}
+
+
+def run_experiment(name: str, profile: ExperimentProfile):
+    """Run one named experiment and return its result object."""
+    if name not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {name!r}; valid: {sorted(EXPERIMENTS)}")
+    runner = EXPERIMENTS[name]
+    if name in _NO_PROFILE_ARG:
+        return runner()
+    return runner(profile)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Regenerate the CPRecycle evaluation figures")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"experiments to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default="quick",
+        help="quick: seconds per figure; full: paper-scale packet counts",
+    )
+    args = parser.parse_args(argv)
+    profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+
+    for name in args.experiments:
+        result = run_experiment(name, profile)
+        print(format_table(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

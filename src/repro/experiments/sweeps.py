@@ -1,0 +1,70 @@
+"""Shared sweep helpers for the packet-success-rate figures."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.channel.scenario import Scenario
+from repro.experiments.config import ExperimentProfile, build_receivers
+from repro.experiments.link import packet_success_rate
+from repro.experiments.results import FigureResult
+
+__all__ = ["psr_vs_sir", "sir_axis"]
+
+
+def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
+    """Evenly spaced SIR values from low to high (inclusive)."""
+    if n_points < 2:
+        raise ValueError("n_points must be at least 2")
+    return [round(float(value), 2) for value in np.linspace(low_db, high_db, n_points)]
+
+
+def psr_vs_sir(
+    figure: str,
+    title: str,
+    scenario_factory: Callable[[str, float], Scenario],
+    mcs_names: tuple[str, ...],
+    sir_values_db: list[float],
+    profile: ExperimentProfile,
+    receiver_names: tuple[str, ...] = ("standard", "cprecycle"),
+    notes: list[str] | None = None,
+) -> FigureResult:
+    """Packet success rate versus SIR for several MCS modes and receivers.
+
+    ``scenario_factory(mcs_name, sir_db)`` builds the scenario of one sweep
+    point; each (MCS, receiver) pair becomes one series of the figure, named
+    the way the paper labels its curves ("QPSK (1/2) With CPRecycle", ...).
+    """
+    series: dict[str, list[float]] = {}
+    for mcs_name in mcs_names:
+        for sir_db in sir_values_db:
+            scenario = scenario_factory(mcs_name, sir_db)
+            receivers = build_receivers(scenario.allocation, receiver_names)
+            stats = packet_success_rate(
+                scenario, receivers, profile.n_packets, seed=profile.seed
+            )
+            for receiver_name in receiver_names:
+                label = _series_label(mcs_name, receiver_name)
+                series.setdefault(label, []).append(stats[receiver_name].success_percent)
+    return FigureResult(
+        figure=figure,
+        title=title,
+        x_label="Signal to Interference ratio (dB)",
+        x_values=list(sir_values_db),
+        series=series,
+        notes=notes or [],
+    )
+
+
+def _series_label(mcs_name: str, receiver_name: str) -> str:
+    modulation, rate = mcs_name.split("-")
+    pretty_mcs = f"{modulation.upper()} ({rate})"
+    pretty_receiver = {
+        "standard": "Without CPRecycle",
+        "cprecycle": "With CPRecycle",
+        "oracle": "Oracle",
+        "naive": "Naive decoder",
+    }.get(receiver_name, receiver_name)
+    return f"{pretty_mcs} {pretty_receiver}"

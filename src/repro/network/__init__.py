@@ -1,0 +1,23 @@
+"""Network-level analysis: office deployment, path loss, interfering neighbours."""
+
+from repro.network.building import AccessPoint, OfficeBuilding
+from repro.network.neighbors import (
+    DEFAULT_THRESHOLD_DBM,
+    NeighborAnalysis,
+    count_interfering_neighbors,
+    interference_graph,
+    neighbor_cdf,
+)
+from repro.network.pathloss import IndoorPathLossModel, received_power_dbm
+
+__all__ = [
+    "AccessPoint",
+    "DEFAULT_THRESHOLD_DBM",
+    "IndoorPathLossModel",
+    "NeighborAnalysis",
+    "OfficeBuilding",
+    "count_interfering_neighbors",
+    "interference_graph",
+    "neighbor_cdf",
+    "received_power_dbm",
+]

@@ -1,0 +1,124 @@
+"""Synthetic office-building Wi-Fi deployment (substitute for the paper's survey).
+
+The paper measures AP-to-AP signal strengths in a five-floor office building
+with 40 access points ("mostly the same place for access points in each
+floor").  This module generates an equivalent synthetic deployment: a
+configurable number of floors, the same AP layout replicated per floor with
+small placement jitter, and pairwise received-power computation through the
+indoor path-loss model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.pathloss import IndoorPathLossModel
+from repro.utils.rng import ensure_rng
+
+__all__ = ["AccessPoint", "OfficeBuilding"]
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """One access point: position in metres and floor index."""
+
+    identifier: int
+    x: float
+    y: float
+    floor: int
+
+
+@dataclass(frozen=True)
+class OfficeBuilding:
+    """A multi-floor office deployment of Wi-Fi access points.
+
+    Parameters
+    ----------
+    n_floors / aps_per_floor:
+        Deployment size (defaults reproduce the paper's 5 floors x 8 APs = 40).
+    floor_width_m / floor_depth_m:
+        Footprint of each floor.
+    tx_power_dbm:
+        AP transmit power.
+    placement_jitter_m:
+        Standard deviation of the per-floor placement jitter ("mostly the same
+        place for access points in each floor").
+    """
+
+    n_floors: int = 5
+    aps_per_floor: int = 8
+    floor_width_m: float = 80.0
+    floor_depth_m: float = 40.0
+    floor_height_m: float = 4.0
+    tx_power_dbm: float = 20.0
+    placement_jitter_m: float = 3.0
+    pathloss: IndoorPathLossModel = field(default_factory=IndoorPathLossModel)
+
+    def __post_init__(self) -> None:
+        if self.n_floors < 1 or self.aps_per_floor < 1:
+            raise ValueError("the building needs at least one floor and one AP per floor")
+
+    @property
+    def n_access_points(self) -> int:
+        """Total number of access points in the building."""
+        return self.n_floors * self.aps_per_floor
+
+    # ------------------------------------------------------------------ #
+    def deploy(self, rng: int | np.random.Generator | None = None) -> list[AccessPoint]:
+        """Place the access points (same grid per floor, with jitter)."""
+        rng = ensure_rng(rng)
+        # Grid layout per floor: as square as possible.
+        n_cols = int(np.ceil(np.sqrt(self.aps_per_floor * self.floor_width_m / self.floor_depth_m)))
+        n_cols = max(n_cols, 1)
+        n_rows = int(np.ceil(self.aps_per_floor / n_cols))
+        xs = np.linspace(0.1, 0.9, n_cols) * self.floor_width_m
+        ys = np.linspace(0.1, 0.9, n_rows) * self.floor_depth_m
+        base_positions = [(x, y) for y in ys for x in xs][: self.aps_per_floor]
+
+        access_points: list[AccessPoint] = []
+        identifier = 0
+        for floor in range(self.n_floors):
+            for x, y in base_positions:
+                jitter = rng.normal(0.0, self.placement_jitter_m, size=2)
+                access_points.append(
+                    AccessPoint(
+                        identifier=identifier,
+                        x=float(np.clip(x + jitter[0], 0.0, self.floor_width_m)),
+                        y=float(np.clip(y + jitter[1], 0.0, self.floor_depth_m)),
+                        floor=floor,
+                    )
+                )
+                identifier += 1
+        return access_points
+
+    def pairwise_rss_dbm(
+        self,
+        access_points: list[AccessPoint],
+        rng: int | np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Matrix of received signal strengths between every AP pair.
+
+        Entry ``[i, j]`` is the power of AP ``j`` as received at AP ``i``;
+        the diagonal is set to ``+inf`` (an AP always hears itself) and is
+        excluded from neighbour counts.
+        """
+        rng = ensure_rng(rng)
+        n = len(access_points)
+        xs = np.array([ap.x for ap in access_points])
+        ys = np.array([ap.y for ap in access_points])
+        floors = np.array([ap.floor for ap in access_points])
+        dx = xs[:, None] - xs[None, :]
+        dy = ys[:, None] - ys[None, :]
+        floor_delta = np.abs(floors[:, None] - floors[None, :])
+        dz = floor_delta * self.floor_height_m
+        distance = np.sqrt(dx**2 + dy**2 + dz**2)
+
+        shadowing = self.pathloss.sample_shadowing((n, n), rng)
+        # Shadowing is reciprocal: symmetrise the draw.
+        shadowing = (shadowing + shadowing.T) / np.sqrt(2.0)
+        loss = self.pathloss.path_loss_db(distance, floor_delta, shadowing)
+        rss = self.tx_power_dbm - loss
+        np.fill_diagonal(rss, np.inf)
+        return rss

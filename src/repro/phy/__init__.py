@@ -1,0 +1,59 @@
+"""OFDM physical layer substrate: constellations, coding, framing, modulation."""
+
+from repro.phy.constellation import (
+    Constellation,
+    bpsk,
+    get_constellation,
+    qam16,
+    qam64,
+    qam256,
+    qpsk,
+)
+from repro.phy.frame import FrameSpec, encode_data_field, prepare_data_bits
+from repro.phy.mcs import MCS_NAMES, MCS_TABLE, Mcs, get_mcs
+from repro.phy.ofdm import (
+    add_cyclic_prefix,
+    assemble_frequency_symbols,
+    ofdm_demodulate,
+    ofdm_modulate,
+    remove_cyclic_prefix,
+    symbol_start_indices,
+)
+from repro.phy.subcarriers import (
+    DOT11G_SUBCARRIER_SPACING_HZ,
+    OfdmAllocation,
+    adjacent_block_allocation,
+    dot11g_allocation,
+    wideband_allocation,
+)
+from repro.phy.transmitter import OfdmTransmitter, TxFrame
+
+__all__ = [
+    "Constellation",
+    "DOT11G_SUBCARRIER_SPACING_HZ",
+    "FrameSpec",
+    "MCS_NAMES",
+    "MCS_TABLE",
+    "Mcs",
+    "OfdmAllocation",
+    "OfdmTransmitter",
+    "TxFrame",
+    "add_cyclic_prefix",
+    "adjacent_block_allocation",
+    "assemble_frequency_symbols",
+    "bpsk",
+    "dot11g_allocation",
+    "encode_data_field",
+    "get_constellation",
+    "get_mcs",
+    "ofdm_demodulate",
+    "ofdm_modulate",
+    "prepare_data_bits",
+    "qam16",
+    "qam64",
+    "qam256",
+    "qpsk",
+    "remove_cyclic_prefix",
+    "symbol_start_indices",
+    "wideband_allocation",
+]

@@ -1,0 +1,234 @@
+"""Gray-mapped constellations used by 802.11 OFDM and the CPRecycle decoder.
+
+Each constellation exposes its lattice points (``points``) so that the
+CPRecycle fixed-sphere maximum-likelihood decoder can search over candidate
+lattice points directly, in addition to the usual ``map`` / ``demap_hard``
+operations used by the standard receiver.
+
+All constellations are normalised to unit average energy with the scaling
+factors of IEEE 802.11-2012 (K_MOD): 1 for BPSK, 1/sqrt(2) for QPSK,
+1/sqrt(10) for 16-QAM, 1/sqrt(42) for 64-QAM and 1/sqrt(170) for 256-QAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "Constellation",
+    "bpsk",
+    "qpsk",
+    "qam16",
+    "qam64",
+    "qam256",
+    "get_constellation",
+    "CONSTELLATION_NAMES",
+]
+
+CONSTELLATION_NAMES = ("bpsk", "qpsk", "16qam", "64qam", "256qam")
+
+
+def _gray_code(n_bits: int) -> np.ndarray:
+    """Return the Gray code sequence for ``n_bits`` (index -> gray value)."""
+    values = np.arange(1 << n_bits)
+    return values ^ (values >> 1)
+
+
+def _pam_levels(n_bits: int) -> np.ndarray:
+    """Gray-mapped PAM amplitude levels for one axis of a square QAM.
+
+    ``n_bits`` bits select one of ``2**n_bits`` equally spaced levels
+    ``-(M-1), ..., -1, +1, ..., +(M-1)`` such that adjacent levels differ in a
+    single bit (Gray mapping), matching the 802.11 bit-to-level tables.
+    """
+    m = 1 << n_bits
+    levels = np.zeros(m)
+    gray = _gray_code(n_bits)
+    # gray[i] is the bit pattern assigned to the i-th level from the most
+    # negative amplitude upwards.
+    for level_index, pattern in enumerate(gray):
+        levels[pattern] = 2 * level_index - (m - 1)
+    return levels
+
+
+@dataclass(frozen=True)
+class Constellation:
+    """A digital modulation alphabet with Gray bit mapping.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"16qam"``.
+    bits_per_symbol:
+        Number of bits carried by one constellation point.
+    points:
+        Complex array of length ``2**bits_per_symbol``; ``points[i]`` is the
+        point whose bit label is the binary representation of ``i`` with the
+        *first transmitted bit as the most significant bit* (the 802.11
+        convention for the (b0 b1 ... ) groups handed to the mapper).
+    """
+
+    name: str
+    bits_per_symbol: int
+    points: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        expected = 1 << self.bits_per_symbol
+        if self.points.shape != (expected,):
+            raise ValueError(
+                f"{self.name}: expected {expected} points, got {self.points.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Mapping                                                            #
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        """Number of points in the constellation."""
+        return self.points.size
+
+    @property
+    def min_distance(self) -> float:
+        """Minimum Euclidean distance between two distinct lattice points."""
+        diffs = self.points[:, None] - self.points[None, :]
+        distances = np.abs(diffs)
+        distances[distances == 0] = np.inf
+        return float(distances.min())
+
+    def bits_to_indices(self, bits: np.ndarray) -> np.ndarray:
+        """Group a bit vector into symbol indices (first bit = MSB)."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.size % self.bits_per_symbol != 0:
+            raise ValueError(
+                f"bit count {bits.size} is not a multiple of {self.bits_per_symbol}"
+            )
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        return (groups * weights).sum(axis=1)
+
+    def indices_to_bits(self, indices: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`bits_to_indices`."""
+        indices = np.asarray(indices, dtype=np.int64)
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        bits = (indices[:, None] >> shifts) & 1
+        return bits.reshape(-1).astype(np.uint8)
+
+    def map(self, bits: np.ndarray) -> np.ndarray:
+        """Map a bit vector onto constellation points."""
+        return self.points[self.bits_to_indices(bits)]
+
+    def map_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Map symbol indices onto constellation points."""
+        return self.points[np.asarray(indices, dtype=np.int64)]
+
+    # ------------------------------------------------------------------ #
+    # Demapping                                                          #
+    # ------------------------------------------------------------------ #
+    def nearest_indices(self, symbols: np.ndarray) -> np.ndarray:
+        """Index of the nearest lattice point for each received symbol."""
+        symbols = np.asarray(symbols, dtype=complex)
+        distances = np.abs(symbols[..., None] - self.points)
+        return np.argmin(distances, axis=-1)
+
+    def demap_hard(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demapping to bits (minimum Euclidean distance)."""
+        return self.indices_to_bits(self.nearest_indices(symbols).reshape(-1))
+
+    def demap_soft(self, symbols: np.ndarray, noise_variance: float = 1.0) -> np.ndarray:
+        """Max-log-MAP soft demapping.
+
+        Returns one log-likelihood ratio per bit; positive LLR means the bit
+        is more likely to be 0.  Used by the soft-decision Viterbi option.
+        """
+        symbols = np.asarray(symbols, dtype=complex).reshape(-1)
+        distances = np.abs(symbols[:, None] - self.points[None, :]) ** 2
+        llrs = np.empty((symbols.size, self.bits_per_symbol))
+        indices = np.arange(self.order)
+        for bit_pos in range(self.bits_per_symbol):
+            shift = self.bits_per_symbol - 1 - bit_pos
+            mask_one = ((indices >> shift) & 1).astype(bool)
+            d_zero = distances[:, ~mask_one].min(axis=1)
+            d_one = distances[:, mask_one].min(axis=1)
+            llrs[:, bit_pos] = (d_one - d_zero) / max(noise_variance, 1e-12)
+        return llrs.reshape(-1)
+
+    def candidates_within(self, center: complex | np.ndarray, radius: float) -> np.ndarray:
+        """Indices of lattice points within ``radius`` of ``center``.
+
+        This is the fixed-sphere candidate selection primitive used by the
+        CPRecycle maximum-likelihood decoder.  If no point falls inside the
+        sphere the nearest point is returned so that decoding never fails.
+        """
+        center = np.asarray(center, dtype=complex)
+        distances = np.abs(self.points - center)
+        inside = np.flatnonzero(distances <= radius)
+        if inside.size == 0:
+            inside = np.array([int(np.argmin(distances))])
+        return inside
+
+
+def _square_qam(name: str, bits_per_symbol: int) -> Constellation:
+    bits_per_axis = bits_per_symbol // 2
+    levels = _pam_levels(bits_per_axis)
+    m = 1 << bits_per_symbol
+    indices = np.arange(m)
+    # First half of the bit group selects the in-phase level, second half the
+    # quadrature level (802.11 mapping order).
+    i_bits = indices >> bits_per_axis
+    q_bits = indices & ((1 << bits_per_axis) - 1)
+    points = levels[i_bits] + 1j * levels[q_bits]
+    scale = np.sqrt((2.0 / 3.0) * (2 ** bits_per_symbol - 1))
+    return Constellation(name=name, bits_per_symbol=bits_per_symbol, points=points / scale)
+
+
+@lru_cache(maxsize=None)
+def bpsk() -> Constellation:
+    """Binary phase-shift keying: bit 0 -> -1, bit 1 -> +1."""
+    return Constellation(name="bpsk", bits_per_symbol=1, points=np.array([-1.0 + 0j, 1.0 + 0j]))
+
+
+@lru_cache(maxsize=None)
+def qpsk() -> Constellation:
+    """Quadrature phase-shift keying (Gray mapped, 802.11 scaling 1/sqrt(2))."""
+    return _square_qam("qpsk", 2)
+
+
+@lru_cache(maxsize=None)
+def qam16() -> Constellation:
+    """16-QAM (Gray mapped, scaling 1/sqrt(10))."""
+    return _square_qam("16qam", 4)
+
+
+@lru_cache(maxsize=None)
+def qam64() -> Constellation:
+    """64-QAM (Gray mapped, scaling 1/sqrt(42))."""
+    return _square_qam("64qam", 6)
+
+
+@lru_cache(maxsize=None)
+def qam256() -> Constellation:
+    """256-QAM (Gray mapped, scaling 1/sqrt(170))."""
+    return _square_qam("256qam", 8)
+
+
+_FACTORY = {
+    "bpsk": bpsk,
+    "qpsk": qpsk,
+    "16qam": qam16,
+    "qam16": qam16,
+    "64qam": qam64,
+    "qam64": qam64,
+    "256qam": qam256,
+    "qam256": qam256,
+}
+
+
+def get_constellation(name: str) -> Constellation:
+    """Look up a constellation by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _FACTORY:
+        raise ValueError(f"unknown constellation {name!r}; valid: {CONSTELLATION_NAMES}")
+    return _FACTORY[key]()

@@ -1,0 +1,93 @@
+"""Modulation and coding schemes (MCS) of the 802.11a/g OFDM PHY.
+
+The table mirrors IEEE 802.11-2012 clause 18 for a 20 MHz channel with 48
+data subcarriers; rate figures scale linearly when a configuration with a
+different number of data subcarriers is used (the generic wideband
+configurations in :mod:`repro.phy.subcarriers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.constellation import Constellation, get_constellation
+
+__all__ = ["Mcs", "MCS_TABLE", "get_mcs", "MCS_NAMES"]
+
+
+@dataclass(frozen=True)
+class Mcs:
+    """One modulation-and-coding scheme.
+
+    Attributes
+    ----------
+    name:
+        Identifier such as ``"qpsk-1/2"``; the paper quotes the same schemes
+        as ``QPSK (1/2)`` etc.
+    modulation:
+        Constellation name understood by :func:`repro.phy.constellation.get_constellation`.
+    code_rate:
+        Convolutional code rate as a string (``"1/2"``, ``"2/3"``, ``"3/4"``).
+    data_rate_mbps:
+        Nominal PHY rate for the 20 MHz / 48-data-subcarrier configuration.
+    """
+
+    name: str
+    modulation: str
+    code_rate: str
+    data_rate_mbps: float
+
+    @property
+    def constellation(self) -> Constellation:
+        """Constellation object for this scheme."""
+        return get_constellation(self.modulation)
+
+    @property
+    def bits_per_subcarrier(self) -> int:
+        """Coded bits carried per data subcarrier (N_BPSC)."""
+        return self.constellation.bits_per_symbol
+
+    @property
+    def code_rate_fraction(self) -> float:
+        """Code rate as a float (e.g. 0.75 for rate 3/4)."""
+        numerator, denominator = self.code_rate.split("/")
+        return int(numerator) / int(denominator)
+
+    def coded_bits_per_symbol(self, n_data_subcarriers: int) -> int:
+        """Coded bits per OFDM symbol (N_CBPS) for a given allocation."""
+        return self.bits_per_subcarrier * n_data_subcarriers
+
+    def data_bits_per_symbol(self, n_data_subcarriers: int) -> int:
+        """Information bits per OFDM symbol (N_DBPS) for a given allocation."""
+        dbps = self.coded_bits_per_symbol(n_data_subcarriers) * self.code_rate_fraction
+        if abs(dbps - round(dbps)) > 1e-9:
+            raise ValueError(
+                f"allocation with {n_data_subcarriers} data subcarriers does not yield an "
+                f"integer number of data bits per symbol for MCS {self.name}"
+            )
+        return int(round(dbps))
+
+
+MCS_TABLE: dict[str, Mcs] = {
+    mcs.name: mcs
+    for mcs in (
+        Mcs("bpsk-1/2", "bpsk", "1/2", 6.0),
+        Mcs("bpsk-3/4", "bpsk", "3/4", 9.0),
+        Mcs("qpsk-1/2", "qpsk", "1/2", 12.0),
+        Mcs("qpsk-3/4", "qpsk", "3/4", 18.0),
+        Mcs("16qam-1/2", "16qam", "1/2", 24.0),
+        Mcs("16qam-3/4", "16qam", "3/4", 36.0),
+        Mcs("64qam-2/3", "64qam", "2/3", 48.0),
+        Mcs("64qam-3/4", "64qam", "3/4", 54.0),
+    )
+}
+
+MCS_NAMES = tuple(MCS_TABLE)
+
+
+def get_mcs(name: str) -> Mcs:
+    """Look up an MCS by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in MCS_TABLE:
+        raise ValueError(f"unknown MCS {name!r}; valid: {sorted(MCS_TABLE)}")
+    return MCS_TABLE[key]

@@ -1,0 +1,48 @@
+"""Pilot subcarrier sequences.
+
+802.11 inserts four BPSK pilots in every OFDM symbol whose common polarity is
+flipped according to the same 127-bit sequence used by the scrambler; the
+receiver uses the pilots to track residual common phase error.  The same
+scheme is applied to the generic wideband allocations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.scrambler import scrambler_sequence
+
+__all__ = ["pilot_polarity_sequence", "pilot_values", "DOT11_PILOT_PATTERN"]
+
+#: Base pilot pattern of 802.11 (subcarriers -21, -7, +7, +21).  Allocations
+#: with a different pilot count reuse the pattern cyclically.
+DOT11_PILOT_PATTERN = np.array([1.0, 1.0, 1.0, -1.0])
+
+
+def pilot_polarity_sequence(n_symbols: int, start_index: int = 0) -> np.ndarray:
+    """Per-symbol pilot polarity (+1 / -1) for ``n_symbols`` OFDM symbols.
+
+    The 802.11 polarity sequence is the scrambler LFSR output with the
+    all-ones seed, mapped 0 -> +1 and 1 -> -1, indexed from ``start_index``
+    (the SIGNAL symbol uses index 0; data symbols continue from 1).
+    """
+    if n_symbols < 0:
+        raise ValueError("n_symbols must be non-negative")
+    raw = scrambler_sequence(start_index + n_symbols, seed=0b1111111)
+    return 1.0 - 2.0 * raw[start_index:].astype(float)
+
+
+def pilot_values(n_symbols: int, n_pilots: int, start_index: int = 0) -> np.ndarray:
+    """Pilot values for each symbol and pilot subcarrier.
+
+    Returns an array of shape ``(n_symbols, n_pilots)`` whose entries are
+    +1/-1: the base pattern (cyclically extended) multiplied by the per-symbol
+    polarity.
+    """
+    if n_pilots < 0:
+        raise ValueError("n_pilots must be non-negative")
+    if n_pilots == 0:
+        return np.zeros((n_symbols, 0))
+    pattern = np.resize(DOT11_PILOT_PATTERN, n_pilots)
+    polarity = pilot_polarity_sequence(n_symbols, start_index)
+    return polarity[:, None] * pattern[None, :]

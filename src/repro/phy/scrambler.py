@@ -1,0 +1,48 @@
+"""IEEE 802.11 data scrambler.
+
+802.11 OFDM PHYs scramble the DATA field with a length-127 sequence produced
+by the LFSR ``S(x) = x^7 + x^4 + 1``.  Scrambling and descrambling are the
+same XOR operation, so a single function serves both directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scrambler_sequence", "scramble", "descramble", "DEFAULT_SCRAMBLER_SEED"]
+
+#: Initial LFSR state used by this library when the caller does not supply one.
+#: Real transmitters pick a pseudo-random non-zero state per frame; a fixed
+#: default keeps reproductions deterministic.
+DEFAULT_SCRAMBLER_SEED = 0b1011101
+
+
+def scrambler_sequence(length: int, seed: int = DEFAULT_SCRAMBLER_SEED) -> np.ndarray:
+    """Generate ``length`` bits of the 802.11 scrambling sequence.
+
+    ``seed`` is the 7-bit initial LFSR state (must be non-zero).  The output
+    bit at each step is ``x7 XOR x4`` of the current state, which is also fed
+    back as the new ``x1``.
+    """
+    if not 0 < seed < 128:
+        raise ValueError(f"scrambler seed must be a non-zero 7-bit value, got {seed}")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x1 ... state[6] = x7
+    out = np.empty(length, dtype=np.uint8)
+    for i in range(length):
+        feedback = state[6] ^ state[3]  # x7 xor x4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return out
+
+
+def scramble(bits: np.ndarray, seed: int = DEFAULT_SCRAMBLER_SEED) -> np.ndarray:
+    """XOR a bit vector with the 802.11 scrambling sequence."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    return (bits ^ scrambler_sequence(bits.size, seed)).astype(np.uint8)
+
+
+def descramble(bits: np.ndarray, seed: int = DEFAULT_SCRAMBLER_SEED) -> np.ndarray:
+    """Inverse of :func:`scramble` (identical operation)."""
+    return scramble(bits, seed)

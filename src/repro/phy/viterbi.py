@@ -1,0 +1,210 @@
+"""Viterbi decoder for the 802.11 rate-1/2 convolutional code.
+
+The decoder is fully vectorised over a *batch* of equal-length codewords so
+that packet-error-rate experiments can decode dozens of packets per numpy
+trellis sweep.  Both hard decisions (with optional erasure masks produced by
+depuncturing) and soft decisions (log-likelihood ratios) are supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.convolutional import CONSTRAINT_LENGTH, GENERATORS_OCTAL, generator_taps
+
+__all__ = ["ViterbiDecoder", "viterbi_decode", "viterbi_decode_batch"]
+
+_N_STATES = 1 << (CONSTRAINT_LENGTH - 1)
+
+
+def _build_trellis() -> dict[str, np.ndarray]:
+    """Precompute trellis transition tables.
+
+    State encoding: the most recent input bit occupies the most significant
+    bit of the 6-bit state, i.e. ``state = (b_{t-1} << 5) | ... | b_{t-6}``.
+    """
+    taps_a = generator_taps(GENERATORS_OCTAL[0])
+    taps_b = generator_taps(GENERATORS_OCTAL[1])
+
+    next_state = np.empty((_N_STATES, 2), dtype=np.int64)
+    out_a = np.empty((_N_STATES, 2), dtype=np.uint8)
+    out_b = np.empty((_N_STATES, 2), dtype=np.uint8)
+    for state in range(_N_STATES):
+        history = [(state >> (CONSTRAINT_LENGTH - 2 - k)) & 1 for k in range(CONSTRAINT_LENGTH - 1)]
+        for bit in (0, 1):
+            register = np.array([bit] + history, dtype=np.uint8)
+            out_a[state, bit] = int(register @ taps_a) % 2
+            out_b[state, bit] = int(register @ taps_b) % 2
+            next_state[state, bit] = (bit << (CONSTRAINT_LENGTH - 2)) | (state >> 1)
+
+    # Predecessor view: for each new state, the two (previous state, input)
+    # pairs that reach it.  The input bit is determined by the new state's MSB.
+    prev_state = np.empty((_N_STATES, 2), dtype=np.int64)
+    input_bit = np.empty(_N_STATES, dtype=np.uint8)
+    counters = np.zeros(_N_STATES, dtype=np.int64)
+    for state in range(_N_STATES):
+        for bit in (0, 1):
+            ns = next_state[state, bit]
+            prev_state[ns, counters[ns]] = state
+            input_bit[ns] = bit
+            counters[ns] += 1
+    assert np.all(counters == 2)
+
+    # Expected coded bits along each predecessor transition.
+    exp_a = out_a[prev_state, input_bit[:, None]]
+    exp_b = out_b[prev_state, input_bit[:, None]]
+    return {
+        "next_state": next_state,
+        "out_a": out_a,
+        "out_b": out_b,
+        "prev_state": prev_state,
+        "input_bit": input_bit,
+        "exp_a": exp_a,
+        "exp_b": exp_b,
+    }
+
+
+_TRELLIS = _build_trellis()
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood decoder for the (133, 171) rate-1/2 code.
+
+    Parameters
+    ----------
+    terminated:
+        When ``True`` (the 802.11 case, where six tail bits flush the
+        encoder) the traceback starts from the all-zero state; otherwise it
+        starts from the best surviving state.
+    """
+
+    def __init__(self, terminated: bool = True):
+        self.terminated = terminated
+
+    # ------------------------------------------------------------------ #
+    def decode(
+        self,
+        coded_bits: np.ndarray,
+        known_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decode one hard-decision codeword (possibly with erasures)."""
+        decoded = self.decode_batch(
+            np.asarray(coded_bits, dtype=np.uint8)[None, :],
+            known_mask=None if known_mask is None else np.asarray(known_mask, dtype=bool)[None, :],
+        )
+        return decoded[0]
+
+    def decode_batch(
+        self,
+        coded_bits: np.ndarray,
+        known_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Decode a batch of hard-decision codewords.
+
+        Parameters
+        ----------
+        coded_bits:
+            Array of shape ``(batch, 2 * n_info_bits)`` containing 0/1 values.
+        known_mask:
+            Optional boolean array of the same shape; ``False`` marks erased
+            (punctured) positions whose branch metric is ignored.
+        """
+        coded = np.asarray(coded_bits, dtype=np.uint8)
+        if coded.ndim != 2 or coded.shape[1] % 2 != 0:
+            raise ValueError("coded_bits must have shape (batch, 2*n) with even columns")
+        if known_mask is None:
+            known = np.ones_like(coded, dtype=np.float64)
+        else:
+            known = np.asarray(known_mask, dtype=np.float64)
+            if known.shape != coded.shape:
+                raise ValueError("known_mask must match coded_bits shape")
+        # Branch costs per position: 0 when erased, 0/1 Hamming otherwise.
+        cost_a = _bit_costs(coded[:, 0::2].astype(np.float64), known[:, 0::2])
+        cost_b = _bit_costs(coded[:, 1::2].astype(np.float64), known[:, 1::2])
+        return self._run(cost_a, cost_b)
+
+    def decode_soft_batch(self, llrs: np.ndarray) -> np.ndarray:
+        """Decode a batch of soft codewords given per-bit LLRs.
+
+        LLRs follow the convention ``log P(bit=0) - log P(bit=1)``; erased
+        (punctured) positions must carry an LLR of exactly 0.
+        """
+        llrs = np.asarray(llrs, dtype=np.float64)
+        if llrs.ndim != 2 or llrs.shape[1] % 2 != 0:
+            raise ValueError("llrs must have shape (batch, 2*n) with even columns")
+        # Hypothesising bit=1 costs +llr relative to bit=0 (can be negative).
+        cost_a = _soft_costs(llrs[:, 0::2])
+        cost_b = _soft_costs(llrs[:, 1::2])
+        return self._run(cost_a, cost_b)
+
+    # ------------------------------------------------------------------ #
+    def _run(self, cost_a: np.ndarray, cost_b: np.ndarray) -> np.ndarray:
+        """Shared trellis sweep.
+
+        ``cost_a``/``cost_b`` have shape ``(batch, n_steps, 2)`` where the last
+        axis indexes the hypothesised coded bit value (0 or 1).
+        """
+        batch, n_steps = cost_a.shape[0], cost_a.shape[1]
+        exp_a = _TRELLIS["exp_a"]  # (states, 2 predecessors)
+        exp_b = _TRELLIS["exp_b"]
+        prev_state = _TRELLIS["prev_state"]
+        input_bit = _TRELLIS["input_bit"]
+
+        metrics = np.full((batch, _N_STATES), 1e9)
+        metrics[:, 0] = 0.0
+        survivors = np.empty((n_steps, batch, _N_STATES), dtype=np.uint8)
+
+        for step in range(n_steps):
+            # Branch cost of every (new state, predecessor) transition.
+            branch = (
+                cost_a[:, step, :][:, exp_a]  # (batch, states, 2)
+                + cost_b[:, step, :][:, exp_b]
+            )
+            candidate = metrics[:, prev_state] + branch  # (batch, states, 2)
+            choice = np.argmin(candidate, axis=2).astype(np.uint8)
+            metrics = np.take_along_axis(candidate, choice[..., None], axis=2)[..., 0]
+            survivors[step] = choice
+
+        if self.terminated:
+            states = np.zeros(batch, dtype=np.int64)
+        else:
+            states = np.argmin(metrics, axis=1)
+
+        decoded = np.empty((batch, n_steps), dtype=np.uint8)
+        rows = np.arange(batch)
+        for step in range(n_steps - 1, -1, -1):
+            decoded[:, step] = input_bit[states]
+            choice = survivors[step][rows, states]
+            states = prev_state[states, choice]
+        return decoded
+
+
+def _bit_costs(received: np.ndarray, known: np.ndarray) -> np.ndarray:
+    """Hamming cost of hypothesising coded bit 0 or 1 at each position."""
+    cost0 = known * received            # received 1 while hypothesising 0
+    cost1 = known * (1.0 - received)    # received 0 while hypothesising 1
+    return np.stack([cost0, cost1], axis=-1)
+
+
+def _soft_costs(llrs: np.ndarray) -> np.ndarray:
+    """Soft cost of hypothesising coded bit 0 or 1 given LLRs."""
+    zeros = np.zeros_like(llrs)
+    return np.stack([zeros, llrs], axis=-1)
+
+
+def viterbi_decode(
+    coded_bits: np.ndarray,
+    known_mask: np.ndarray | None = None,
+    terminated: bool = True,
+) -> np.ndarray:
+    """Convenience wrapper decoding a single codeword."""
+    return ViterbiDecoder(terminated=terminated).decode(coded_bits, known_mask)
+
+
+def viterbi_decode_batch(
+    coded_bits: np.ndarray,
+    known_mask: np.ndarray | None = None,
+    terminated: bool = True,
+) -> np.ndarray:
+    """Convenience wrapper decoding a batch of equal-length codewords."""
+    return ViterbiDecoder(terminated=terminated).decode_batch(coded_bits, known_mask)

@@ -1,0 +1,95 @@
+"""Receiver base class and result containers.
+
+Every receiver strategy in this library follows the same two-stage structure:
+
+* ``decide`` — map the front end's per-segment equalised observations to one
+  constellation decision per data subcarrier and OFDM symbol.  This is the
+  stage the paper's receivers differ in.
+* ``receive`` — run ``decide`` and push the resulting hard coded bits through
+  the shared FEC decode chain, returning a verified PSDU.
+
+Experiments that need to decode thousands of packets call ``demodulate`` on
+each packet and then batch the FEC stage across packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.scenario import ReceivedWaveform
+from repro.receiver.decode_chain import DecodedFrame, decode_coded_bits
+from repro.receiver.frontend import FrontEnd, FrontEndOutput
+
+__all__ = ["OfdmReceiverBase", "Demodulated", "ReceiverOutput"]
+
+
+@dataclass(frozen=True)
+class Demodulated:
+    """Decisions of one packet before forward-error-correction decoding."""
+
+    decisions: np.ndarray = field(repr=False)
+    coded_bits: np.ndarray = field(repr=False)
+    front_end: FrontEndOutput = field(repr=False)
+
+    @property
+    def n_data_symbols(self) -> int:
+        """Number of data OFDM symbols in the packet."""
+        return int(self.decisions.shape[0])
+
+
+@dataclass(frozen=True)
+class ReceiverOutput:
+    """Full decode result of one packet."""
+
+    frame: DecodedFrame
+    demodulated: Demodulated = field(repr=False)
+
+    @property
+    def success(self) -> bool:
+        """True when the frame check sequence verified."""
+        return self.frame.crc_ok
+
+    @property
+    def payload(self) -> bytes | None:
+        """Decoded payload (``None`` when the CRC failed)."""
+        return self.frame.payload
+
+
+class OfdmReceiverBase:
+    """Common scaffolding for all receiver strategies."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "receiver"
+
+    def __init__(self, front_end: FrontEnd | None = None):
+        self.front_end = front_end if front_end is not None else FrontEnd()
+
+    # ------------------------------------------------------------------ #
+    # Strategy interface                                                  #
+    # ------------------------------------------------------------------ #
+    def decide(self, front: FrontEndOutput, rx: ReceivedWaveform) -> np.ndarray:
+        """Return decided lattice indices of shape ``(n_data_symbols, n_data)``.
+
+        Subclasses implement this; ``rx`` gives access to genie information
+        for oracle baselines and is ignored by standards-compliant receivers.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared pipeline                                                     #
+    # ------------------------------------------------------------------ #
+    def demodulate(self, rx: ReceivedWaveform) -> Demodulated:
+        """Front end plus symbol decisions (no FEC decoding)."""
+        front = self.front_end.process(rx)
+        decisions = self.decide(front, rx)
+        constellation = rx.spec.mcs.constellation
+        coded_bits = constellation.indices_to_bits(decisions.reshape(-1))
+        return Demodulated(decisions=decisions, coded_bits=coded_bits, front_end=front)
+
+    def receive(self, rx: ReceivedWaveform) -> ReceiverOutput:
+        """Decode one packet end to end."""
+        demodulated = self.demodulate(rx)
+        frame = decode_coded_bits(rx.spec, demodulated.coded_bits)
+        return ReceiverOutput(frame=frame, demodulated=demodulated)

@@ -1,0 +1,143 @@
+"""Channel estimation from the known training symbols.
+
+Two estimators are provided:
+
+* :func:`estimate_channel_ls` — the textbook least-squares estimate from the
+  training symbols at a single FFT window (what a standard receiver does).
+* :func:`estimate_channel_best_segment` — a cyclic-prefix-recycling variant
+  used by the multi-segment receivers: the channel is estimated per segment
+  and, for every subcarrier, the segment whose estimates agree best across
+  the training symbols is kept.  Agreement across training symbols is a
+  signal-independent proxy for "little interference hit this segment", so the
+  estimator stays usable at strongly negative SIR where the single-window
+  estimate is destroyed by interference leaking into the preamble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "estimate_channel_ls",
+    "estimate_channel_best_segment",
+    "smooth_channel_estimate",
+]
+
+
+def estimate_channel_ls(
+    received_preamble: np.ndarray,
+    known_preamble: np.ndarray,
+    occupied_bins: np.ndarray,
+) -> np.ndarray:
+    """Least-squares channel estimate averaged over the training symbols.
+
+    Parameters
+    ----------
+    received_preamble:
+        Frequency-domain training symbols as seen by the receiver at the
+        reference segment, shape ``(n_preamble_symbols, fft_size)``.
+    known_preamble:
+        The transmitted training values, same shape.
+    occupied_bins:
+        Bins on which the estimate is computed; all other bins are set to 1
+        so that dividing by the estimate never produces NaNs.
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex channel estimate of length ``fft_size``.
+    """
+    received_preamble = np.atleast_2d(received_preamble)
+    known_preamble = np.atleast_2d(known_preamble)
+    if received_preamble.shape != known_preamble.shape:
+        raise ValueError(
+            f"received and known preambles must have the same shape, got "
+            f"{received_preamble.shape} vs {known_preamble.shape}"
+        )
+    fft_size = received_preamble.shape[1]
+    occupied = np.asarray(occupied_bins, dtype=int)
+    estimate = np.ones(fft_size, dtype=complex)
+    reference = known_preamble[:, occupied]
+    if np.any(reference == 0):
+        raise ValueError("known preamble values on occupied bins must be non-zero")
+    per_symbol = received_preamble[:, occupied] / reference
+    estimate[occupied] = per_symbol.mean(axis=0)
+    # Guard against a dead subcarrier producing a zero estimate and a
+    # divide-by-zero downstream.
+    zero = np.abs(estimate) < 1e-12
+    estimate[zero] = 1e-12
+    return estimate
+
+
+def estimate_channel_best_segment(
+    preamble_segments: np.ndarray,
+    known_preamble: np.ndarray,
+    occupied_bins: np.ndarray,
+) -> np.ndarray:
+    """Per-subcarrier best-segment channel estimate.
+
+    Parameters
+    ----------
+    preamble_segments:
+        Phase-corrected (unequalised) training-symbol spectra for every FFT
+        segment, shape ``(P, n_preamble_symbols, fft_size)``.
+    known_preamble:
+        Transmitted training values, shape ``(n_preamble_symbols, fft_size)``.
+    occupied_bins:
+        Bins on which the estimate is computed.
+
+    For each subcarrier the per-segment estimates ``H_j = mean_s(Y_js / X_s)``
+    are ranked by how much the individual training symbols disagree
+    (``var_s(Y_js / X_s)``); the most self-consistent segment wins.  With a
+    single training symbol this degenerates to the reference-segment
+    least-squares estimate.
+    """
+    preamble_segments = np.asarray(preamble_segments, dtype=complex)
+    if preamble_segments.ndim != 3:
+        raise ValueError("preamble_segments must have shape (P, Np, fft_size)")
+    known_preamble = np.atleast_2d(known_preamble)
+    n_segments, n_preambles, fft_size = preamble_segments.shape
+    if known_preamble.shape != (n_preambles, fft_size):
+        raise ValueError(
+            f"known preamble shape {known_preamble.shape} does not match segments "
+            f"({n_preambles}, {fft_size})"
+        )
+    if n_preambles < 2:
+        return estimate_channel_ls(preamble_segments[-1], known_preamble, occupied_bins)
+    occupied = np.asarray(occupied_bins, dtype=int)
+    reference = known_preamble[:, occupied]
+    if np.any(reference == 0):
+        raise ValueError("known preamble values on occupied bins must be non-zero")
+    per_symbol = preamble_segments[:, :, occupied] / reference[None, :, :]  # (P, Np, n_occ)
+    means = per_symbol.mean(axis=1)                                         # (P, n_occ)
+    spread = np.abs(per_symbol - means[:, None, :]).mean(axis=1)            # (P, n_occ)
+    best = np.argmin(spread, axis=0)                                        # (n_occ,)
+    chosen = means[best, np.arange(occupied.size)]
+    estimate = np.ones(fft_size, dtype=complex)
+    estimate[occupied] = chosen
+    zero = np.abs(estimate) < 1e-12
+    estimate[zero] = 1e-12
+    return estimate
+
+
+def smooth_channel_estimate(
+    estimate: np.ndarray, occupied_bins: np.ndarray, window: int = 3
+) -> np.ndarray:
+    """Moving-average smoothing of a channel estimate across occupied bins.
+
+    Adjacent subcarriers of an indoor channel are strongly correlated, so a
+    short moving average reduces the noise in the least-squares estimate
+    without noticeably biasing it.  ``window`` must be odd.
+    """
+    if window < 1 or window % 2 == 0:
+        raise ValueError("window must be a positive odd integer")
+    if window == 1:
+        return estimate.copy()
+    occupied = np.asarray(occupied_bins, dtype=int)
+    values = estimate[occupied]
+    kernel = np.ones(window) / window
+    padded = np.concatenate([values[: window // 2][::-1], values, values[-(window // 2):][::-1]])
+    smoothed_vals = np.convolve(padded, kernel, mode="valid")
+    smoothed = estimate.copy()
+    smoothed[occupied] = smoothed_vals
+    return smoothed

@@ -1,0 +1,34 @@
+"""The standard OFDM receiver: discard the cyclic prefix, nearest-point demap.
+
+This is the paper's baseline ("Without CPRecycle"): the FFT window starts
+right after the cyclic prefix (the last segment) and each data subcarrier is
+demapped independently to the nearest constellation point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.channel.scenario import ReceivedWaveform
+from repro.receiver.base import OfdmReceiverBase
+from repro.receiver.frontend import FrontEnd, FrontEndOutput
+
+__all__ = ["StandardOfdmReceiver"]
+
+
+class StandardOfdmReceiver(OfdmReceiverBase):
+    """Conventional single-FFT-window receiver."""
+
+    name = "standard"
+
+    def __init__(self, front_end: FrontEnd | None = None):
+        # The standard receiver only ever needs the reference window, so the
+        # default front end extracts a single segment to avoid wasted FFTs.
+        if front_end is None:
+            front_end = FrontEnd(n_segments=1)
+        super().__init__(front_end)
+
+    def decide(self, front: FrontEndOutput, rx: ReceivedWaveform) -> np.ndarray:
+        constellation = front.spec.mcs.constellation
+        reference = front.reference_data()
+        return constellation.nearest_indices(reference)

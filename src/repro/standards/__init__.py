@@ -1,0 +1,23 @@
+"""Standards data: cyclic prefix provisioning across 802.11 generations and LTE."""
+
+from repro.standards.dot11 import (
+    DOT11_CP_TABLE,
+    LTE_EXTENDED_CP_US,
+    LTE_NORMAL_CP_US,
+    LTE_SYMBOL_US,
+    CyclicPrefixSpec,
+    cp_overhead_fraction,
+    isi_free_samples,
+    table1_rows,
+)
+
+__all__ = [
+    "DOT11_CP_TABLE",
+    "LTE_EXTENDED_CP_US",
+    "LTE_NORMAL_CP_US",
+    "LTE_SYMBOL_US",
+    "CyclicPrefixSpec",
+    "cp_overhead_fraction",
+    "isi_free_samples",
+    "table1_rows",
+]

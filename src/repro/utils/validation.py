@@ -1,0 +1,73 @@
+"""Small argument-validation helpers used across the public API.
+
+These keep constructor bodies readable: each helper raises ``ValueError`` (or
+``TypeError``) with a message naming the offending parameter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+__all__ = [
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+    "require_unique_indices",
+    "require_probability",
+]
+
+
+def require_positive_int(value: int, name: str) -> int:
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def require_non_negative_int(value: int, name: str) -> int:
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def require_positive(value: float, name: str) -> float:
+    value = float(value)
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(value: float, name: str, low: float, high: float) -> float:
+    value = float(value)
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    return require_in_range(value, name, 0.0, 1.0)
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    value = require_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def require_unique_indices(indices: Iterable[int], name: str, size: int) -> np.ndarray:
+    """Validate a collection of FFT bin indices against a grid of ``size`` bins."""
+    arr = np.asarray(list(indices), dtype=int)
+    if arr.size and (arr.min() < 0 or arr.max() >= size):
+        raise ValueError(f"{name} indices must lie in [0, {size}), got range "
+                         f"[{arr.min()}, {arr.max()}]")
+    if len(set(arr.tolist())) != arr.size:
+        raise ValueError(f"{name} indices must be unique")
+    return arr

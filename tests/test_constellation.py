@@ -1,0 +1,96 @@
+"""Unit and property tests for the constellation mappers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import constellation as con
+from repro.utils.bits import random_bits
+
+ALL_NAMES = ["bpsk", "qpsk", "16qam", "64qam", "256qam"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestPerConstellation:
+    def test_unit_average_energy(self, name):
+        c = con.get_constellation(name)
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0, rel=1e-9)
+
+    def test_order_matches_bits(self, name):
+        c = con.get_constellation(name)
+        assert c.order == 2 ** c.bits_per_symbol
+
+    def test_map_demap_roundtrip(self, name):
+        c = con.get_constellation(name)
+        bits = random_bits(c.bits_per_symbol * 64, np.random.default_rng(0))
+        symbols = c.map(bits)
+        assert np.array_equal(c.demap_hard(symbols), bits)
+
+    def test_gray_mapping_adjacent_points_differ_by_one_bit(self, name):
+        c = con.get_constellation(name)
+        # For every point, its nearest neighbour differs in exactly one bit.
+        for index in range(c.order):
+            distances = np.abs(c.points - c.points[index])
+            distances[index] = np.inf
+            nearest = int(np.argmin(distances))
+            differing = bin(index ^ nearest).count("1")
+            assert differing == 1
+
+    def test_min_distance_positive(self, name):
+        c = con.get_constellation(name)
+        assert c.min_distance > 0
+
+    def test_nearest_indices_on_exact_points(self, name):
+        c = con.get_constellation(name)
+        assert np.array_equal(c.nearest_indices(c.points), np.arange(c.order))
+
+    def test_candidates_within_includes_nearest(self, name):
+        c = con.get_constellation(name)
+        candidates = c.candidates_within(c.points[0] + 0.01, radius=1e-6)
+        assert 0 in candidates
+
+    def test_demap_soft_sign_matches_hard(self, name):
+        c = con.get_constellation(name)
+        bits = random_bits(c.bits_per_symbol * 32, np.random.default_rng(1))
+        symbols = c.map(bits)
+        llrs = c.demap_soft(symbols, noise_variance=0.1)
+        hard_from_soft = (llrs < 0).astype(np.uint8)
+        assert np.array_equal(hard_from_soft, bits)
+
+
+class TestModuleLevel:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            con.get_constellation("8psk")
+
+    def test_alias_names(self):
+        assert con.get_constellation("qam16") is con.qam16()
+
+    def test_qpsk_min_distance_value(self):
+        assert con.qpsk().min_distance == pytest.approx(np.sqrt(2.0), rel=1e-9)
+
+    def test_bpsk_points(self):
+        assert np.allclose(con.bpsk().points, [-1.0, 1.0])
+
+    def test_bits_to_indices_rejects_partial_group(self):
+        with pytest.raises(ValueError):
+            con.qpsk().bits_to_indices(np.array([1], dtype=np.uint8))
+
+    @settings(max_examples=25)
+    @given(st.sampled_from(ALL_NAMES), st.integers(min_value=1, max_value=50))
+    def test_roundtrip_property(self, name, n_symbols):
+        c = con.get_constellation(name)
+        rng = np.random.default_rng(n_symbols)
+        bits = random_bits(c.bits_per_symbol * n_symbols, rng)
+        assert np.array_equal(c.demap_hard(c.map(bits)), bits)
+
+    @settings(max_examples=25)
+    @given(st.sampled_from(ALL_NAMES))
+    def test_noise_below_half_min_distance_never_errors(self, name):
+        c = con.get_constellation(name)
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, c.order, size=100)
+        noise_magnitude = 0.49 * c.min_distance
+        angles = rng.uniform(0, 2 * np.pi, size=100)
+        received = c.map_indices(indices) + noise_magnitude * np.exp(1j * angles)
+        assert np.array_equal(c.nearest_indices(received), indices)

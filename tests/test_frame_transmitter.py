@@ -1,0 +1,151 @@
+"""Unit tests for preambles, frame specification and the transmitter."""
+
+import numpy as np
+import pytest
+
+from repro.phy.frame import SERVICE_BITS, TAIL_BITS, FrameSpec, encode_data_field, prepare_data_bits
+from repro.phy.preamble import (
+    dot11_ltf_sequence,
+    dot11_stf_waveform,
+    generic_stf_waveform,
+    preamble_frequency_symbols,
+)
+from repro.phy.subcarriers import dot11g_allocation, wideband_allocation
+from repro.phy.transmitter import OfdmTransmitter
+
+
+class TestPreamble:
+    def test_ltf_occupies_52_bins(self):
+        ltf = dot11_ltf_sequence()
+        assert np.count_nonzero(ltf) == 52
+        assert set(np.unique(ltf[ltf != 0].real)) <= {-1.0, 1.0}
+
+    def test_stf_waveform_is_periodic_16(self):
+        stf = dot11_stf_waveform()
+        assert stf.size == 160
+        assert np.allclose(stf[:16], stf[16:32], atol=1e-12)
+
+    def test_generic_stf_periodic(self):
+        alloc = wideband_allocation()
+        stf = generic_stf_waveform(alloc, n_repetitions=4)
+        period = alloc.fft_size // 4
+        assert np.allclose(stf[:period], stf[period : 2 * period], atol=1e-12)
+
+    def test_dot11_preamble_uses_ltf(self):
+        alloc = dot11g_allocation()
+        preamble = preamble_frequency_symbols(alloc, 2)
+        assert np.allclose(preamble[0], dot11_ltf_sequence())
+        assert np.allclose(preamble[0], preamble[1])
+
+    def test_generic_preamble_known_and_bpsk(self):
+        alloc = wideband_allocation()
+        a = preamble_frequency_symbols(alloc, 3, seed=5)
+        b = preamble_frequency_symbols(alloc, 3, seed=5)
+        assert np.allclose(a, b)
+        occupied = alloc.occupied_bin_array()
+        assert set(np.unique(a[:, occupied].real)) <= {-1.0, 1.0}
+
+    def test_preamble_needs_at_least_one_symbol(self):
+        with pytest.raises(ValueError):
+            preamble_frequency_symbols(dot11g_allocation(), 0)
+
+
+class TestFrameSpec:
+    def test_symbol_count_matches_dot11_formula(self):
+        spec = FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=100)
+        n_bits = SERVICE_BITS + 8 * (100 + 4) + TAIL_BITS
+        assert spec.n_data_symbols == int(np.ceil(n_bits / 48))
+
+    def test_coded_bit_budget_consistent(self):
+        spec = FrameSpec(dot11g_allocation(), "64qam-2/3", payload_length=57)
+        assert spec.n_coded_bits == spec.n_data_symbols * spec.coded_bits_per_symbol
+        assert spec.n_padded_data_bits == spec.n_data_symbols * spec.data_bits_per_symbol
+
+    def test_geometry(self):
+        spec = FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=20)
+        assert spec.preamble_start == 0
+        assert spec.data_start == 2 * 80
+        assert spec.n_samples == spec.data_start + spec.n_data_symbols * 80
+
+    def test_geometry_with_stf(self):
+        spec = FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=20, include_stf=True)
+        assert spec.stf_length == 160
+        assert spec.preamble_start == 160
+
+    def test_psdu_roundtrip(self):
+        spec = FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=10)
+        psdu = spec.build_psdu(b"0123456789")
+        assert spec.check_psdu(psdu)
+        assert not spec.check_psdu(psdu[:-1] + b"\x00")
+
+    def test_invalid_payload_length(self):
+        with pytest.raises(ValueError):
+            FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=0)
+
+    def test_encode_data_field_length(self):
+        spec = FrameSpec(dot11g_allocation(), "16qam-1/2", payload_length=33)
+        psdu = spec.build_psdu(bytes(33))
+        coded = encode_data_field(spec, prepare_data_bits(spec, psdu))
+        assert coded.size == spec.n_coded_bits
+
+    def test_prepare_data_bits_rejects_wrong_psdu(self):
+        spec = FrameSpec(dot11g_allocation(), "qpsk-1/2", payload_length=10)
+        with pytest.raises(ValueError):
+            prepare_data_bits(spec, bytes(5))
+
+
+class TestTransmitter:
+    @pytest.mark.parametrize("mcs", ["qpsk-1/2", "16qam-1/2", "64qam-2/3"])
+    def test_frame_length_matches_spec(self, mcs):
+        tx = OfdmTransmitter(dot11g_allocation(), mcs_name=mcs)
+        frame = tx.random_frame(80, 0)
+        assert frame.n_samples == frame.spec.n_samples
+        assert frame.data_points.shape == (frame.spec.n_data_symbols, 48)
+
+    def test_frame_is_deterministic_given_payload(self):
+        tx = OfdmTransmitter(dot11g_allocation())
+        a = tx.build_frame(b"x" * 40)
+        b = tx.build_frame(b"x" * 40)
+        assert np.allclose(a.waveform, b.waveform)
+
+    def test_psdu_contains_payload_and_crc(self):
+        tx = OfdmTransmitter(dot11g_allocation())
+        frame = tx.build_frame(b"hello-world-payload")
+        assert frame.psdu[:-4] == b"hello-world-payload"
+
+    def test_symbol_stream_length(self):
+        alloc = wideband_allocation()
+        tx = OfdmTransmitter(alloc)
+        stream = tx.symbol_stream(7, 0)
+        assert stream.size == 7 * alloc.symbol_length
+
+    def test_symbol_stream_occupies_only_allocated_band(self):
+        alloc = wideband_allocation(fft_size=160, start_bin=69)
+        tx = OfdmTransmitter(alloc)
+        stream = tx.symbol_stream(5, 1)
+        # FFT aligned with a symbol boundary: energy confined to the block.
+        spectrum = np.fft.fft(stream[alloc.cp_length : alloc.cp_length + 160]) / np.sqrt(160)
+        out_of_band = np.setdiff1d(np.arange(160), alloc.occupied_bin_array())
+        in_band_power = np.mean(np.abs(spectrum[alloc.occupied_bin_array()]) ** 2)
+        out_band_power = np.mean(np.abs(spectrum[out_of_band]) ** 2)
+        assert out_band_power < 1e-20 * in_band_power
+
+    def test_stf_prepended_when_requested(self):
+        tx = OfdmTransmitter(dot11g_allocation(), include_stf=True)
+        frame = tx.random_frame(20, 0)
+        assert frame.spec.include_stf
+        assert frame.n_samples == frame.spec.n_samples
+        assert np.allclose(frame.waveform[:16], frame.waveform[16:32], atol=1e-12)
+
+    def test_edge_window_stream_same_length(self):
+        alloc = wideband_allocation()
+        tx = OfdmTransmitter(alloc, edge_window_length=8)
+        assert tx.symbol_stream(4, 0).size == 4 * alloc.symbol_length
+
+    def test_negative_edge_window_rejected(self):
+        with pytest.raises(ValueError):
+            OfdmTransmitter(dot11g_allocation(), edge_window_length=-1)
+
+    def test_symbol_stream_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            OfdmTransmitter(dot11g_allocation()).symbol_stream(0, 0)

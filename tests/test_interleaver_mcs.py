@@ -1,0 +1,88 @@
+"""Unit tests for the interleaver and the MCS table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy import interleaver as il
+from repro.phy.mcs import MCS_TABLE, get_mcs
+from repro.utils.bits import random_bits
+
+
+class TestInterleaver:
+    def test_permutation_is_bijective(self):
+        perm = il.interleaver_permutation(96, 2)
+        assert sorted(perm) == list(range(96))
+
+    def test_known_dot11_first_permutation_structure(self):
+        # For 48 coded bits (BPSK), input bit 0 stays at 0 and bit 1 moves to 3.
+        perm = il.interleaver_permutation(48, 1)
+        assert perm[0] == 0
+        assert perm[1] == 3
+
+    def test_roundtrip(self):
+        bits = random_bits(192 * 3, np.random.default_rng(0))
+        out = il.deinterleave(il.interleave(bits, 192, 4), 192, 4)
+        assert np.array_equal(out, bits)
+
+    @settings(max_examples=20)
+    @given(st.sampled_from([(48, 1), (96, 2), (192, 4), (288, 6), (120, 2)]),
+           st.integers(min_value=1, max_value=4))
+    def test_roundtrip_property(self, shape, n_blocks):
+        ncbps, nbpsc = shape
+        bits = random_bits(ncbps * n_blocks, np.random.default_rng(ncbps + n_blocks))
+        out = il.deinterleave(il.interleave(bits, ncbps, nbpsc), ncbps, nbpsc)
+        assert np.array_equal(out, bits)
+
+    def test_adjacent_coded_bits_are_spread(self):
+        # Interleaving must separate adjacent input bits by several positions.
+        perm = np.array(il.interleaver_permutation(96, 2))
+        spacing = np.abs(np.diff(perm[:16]))
+        assert spacing.min() >= 3
+
+    def test_partial_block_raises(self):
+        with pytest.raises(ValueError):
+            il.interleave(np.zeros(50, dtype=np.uint8), 48, 1)
+
+    def test_non_divisible_nbpsc_raises(self):
+        with pytest.raises(ValueError):
+            il.interleaver_permutation(50, 4)
+
+    def test_non_multiple_of_16_fallback_is_bijective(self):
+        perm = il.interleaver_permutation(120, 2)
+        assert sorted(perm) == list(range(120))
+
+
+class TestMcs:
+    def test_table_contains_paper_modes(self):
+        for name in ("qpsk-1/2", "16qam-1/2", "64qam-2/3"):
+            assert name in MCS_TABLE
+
+    def test_lookup_case_insensitive(self):
+        assert get_mcs("QPSK-1/2") is MCS_TABLE["qpsk-1/2"]
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_mcs("1024qam-7/8")
+
+    @pytest.mark.parametrize(
+        "name,nbpsc,ndbps",
+        [("bpsk-1/2", 1, 24), ("qpsk-1/2", 2, 48), ("qpsk-3/4", 2, 72),
+         ("16qam-1/2", 4, 96), ("16qam-3/4", 4, 144), ("64qam-2/3", 6, 192),
+         ("64qam-3/4", 6, 216)],
+    )
+    def test_dot11_bits_per_symbol(self, name, nbpsc, ndbps):
+        mcs = get_mcs(name)
+        assert mcs.bits_per_subcarrier == nbpsc
+        assert mcs.data_bits_per_symbol(48) == ndbps
+
+    def test_data_rate_ordering(self):
+        rates = [mcs.data_rate_mbps for mcs in MCS_TABLE.values()]
+        assert rates == sorted(rates)
+
+    def test_code_rate_fraction(self):
+        assert get_mcs("64qam-2/3").code_rate_fraction == pytest.approx(2 / 3)
+
+    def test_non_integer_dbps_raises(self):
+        with pytest.raises(ValueError):
+            get_mcs("qpsk-3/4").data_bits_per_symbol(49)

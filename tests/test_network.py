@@ -1,0 +1,133 @@
+"""Unit tests for the network-level analysis (Fig. 13 substrate)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network.building import OfficeBuilding
+from repro.network.neighbors import (
+    NeighborAnalysis,
+    count_interfering_neighbors,
+    interference_graph,
+    neighbor_cdf,
+)
+from repro.network.pathloss import IndoorPathLossModel, received_power_dbm
+
+
+class TestPathLoss:
+    def test_monotone_in_distance(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=0.0)
+        losses = model.path_loss_db(np.array([1.0, 10.0, 50.0]))
+        assert losses[0] < losses[1] < losses[2]
+
+    def test_floor_penalty(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=0.0)
+        assert model.path_loss_db(10.0, n_floors=2) == pytest.approx(
+            model.path_loss_db(10.0) + 2 * model.floor_loss_db
+        )
+
+    def test_reference_distance_clamp(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=0.0)
+        assert model.path_loss_db(0.01) == pytest.approx(model.path_loss_db(1.0))
+
+    def test_received_power(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=0.0)
+        assert received_power_dbm(20.0, 1.0, model) == pytest.approx(20.0 - model.reference_loss_db)
+
+    def test_shadowing_sampling(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=6.0)
+        samples = model.sample_shadowing((1000,), np.random.default_rng(0))
+        assert np.std(samples) == pytest.approx(6.0, rel=0.15)
+
+    def test_zero_shadowing(self):
+        model = IndoorPathLossModel(shadowing_sigma_db=0.0)
+        assert not np.any(model.sample_shadowing((10,), np.random.default_rng(0)))
+
+
+class TestBuilding:
+    def test_deployment_size_matches_paper(self):
+        building = OfficeBuilding()
+        aps = building.deploy(0)
+        assert len(aps) == 40
+        assert building.n_access_points == 40
+        assert {ap.floor for ap in aps} == set(range(5))
+
+    def test_positions_within_footprint(self):
+        building = OfficeBuilding()
+        for ap in building.deploy(1):
+            assert 0.0 <= ap.x <= building.floor_width_m
+            assert 0.0 <= ap.y <= building.floor_depth_m
+
+    def test_rss_matrix_properties(self):
+        building = OfficeBuilding()
+        aps = building.deploy(2)
+        rss = building.pairwise_rss_dbm(aps, 2)
+        assert rss.shape == (40, 40)
+        assert np.all(np.isinf(np.diag(rss)))
+        off_diagonal = rss[~np.eye(40, dtype=bool)]
+        assert off_diagonal.max() < building.tx_power_dbm
+
+    def test_same_floor_neighbors_stronger_on_average(self):
+        building = OfficeBuilding()
+        aps = building.deploy(3)
+        rss = building.pairwise_rss_dbm(aps, 3)
+        floors = np.array([ap.floor for ap in aps])
+        same = floors[:, None] == floors[None, :]
+        off_diag = ~np.eye(40, dtype=bool)
+        assert rss[same & off_diag].mean() > rss[~same].mean()
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            OfficeBuilding(n_floors=0)
+
+
+class TestNeighbors:
+    def test_count_threshold_monotone(self):
+        building = OfficeBuilding()
+        rss = building.pairwise_rss_dbm(building.deploy(0), 0)
+        low = count_interfering_neighbors(rss, -90.0)
+        high = count_interfering_neighbors(rss, -60.0)
+        assert np.all(high <= low)
+
+    def test_counts_exclude_self(self):
+        rss = np.full((4, 4), -50.0)
+        np.fill_diagonal(rss, np.inf)
+        assert np.array_equal(count_interfering_neighbors(rss, -60.0), [3, 3, 3, 3])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            count_interfering_neighbors(np.zeros((2, 3)), -60.0)
+
+    def test_cdf_reaches_one(self):
+        support, cdf = neighbor_cdf(np.array([0, 1, 1, 3]))
+        assert cdf[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(cdf) >= 0)
+        assert list(support) == [0, 1, 2, 3]
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            neighbor_cdf(np.array([]))
+
+    def test_interference_graph(self):
+        rss = np.array([[np.inf, -50.0, -95.0], [-50.0, np.inf, -95.0], [-95.0, -95.0, np.inf]])
+        graph = interference_graph(rss, -82.0)
+        assert isinstance(graph, nx.Graph)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert graph.number_of_nodes() == 3
+
+    def test_analysis_statistics(self):
+        analysis = NeighborAnalysis("test", -82.0, np.array([2, 4, 6, 8, 10]))
+        assert analysis.mean == pytest.approx(6.0)
+        assert analysis.percentile80 == pytest.approx(8.4, rel=0.05)
+        support, cdf = analysis.cdf()
+        assert cdf[-1] == 1.0
+
+    def test_higher_threshold_reduces_neighbors_building_scale(self):
+        # The Fig. 13 effect: raising the tolerance threshold by 15 dB roughly
+        # halves the neighbour count in the synthetic office.
+        building = OfficeBuilding()
+        rss = building.pairwise_rss_dbm(building.deploy(5), 5)
+        standard = count_interfering_neighbors(rss, -82.0)
+        cprecycle = count_interfering_neighbors(rss, -82.0 + 15.0)
+        assert cprecycle.mean() < standard.mean()

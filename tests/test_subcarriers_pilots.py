@@ -1,0 +1,113 @@
+"""Unit tests for subcarrier allocations and pilot sequences."""
+
+import numpy as np
+import pytest
+
+from repro.phy import pilots
+from repro.phy.subcarriers import (
+    OfdmAllocation,
+    adjacent_block_allocation,
+    dot11g_allocation,
+    wideband_allocation,
+)
+
+
+class TestDot11gAllocation:
+    def test_counts(self):
+        alloc = dot11g_allocation()
+        assert alloc.fft_size == 64
+        assert alloc.cp_length == 16
+        assert alloc.n_data_subcarriers == 48
+        assert alloc.n_pilot_subcarriers == 4
+        assert len(alloc.occupied_bins) == 52
+
+    def test_dc_and_band_edges_unused(self):
+        alloc = dot11g_allocation()
+        occupied = set(alloc.occupied_bins)
+        assert 0 not in occupied  # DC null
+        for bin_index in range(27, 38):  # outer guard bins
+            assert bin_index not in occupied
+
+    def test_durations(self):
+        alloc = dot11g_allocation()
+        assert alloc.sample_rate_hz == pytest.approx(20e6)
+        assert alloc.cp_duration_s == pytest.approx(0.8e-6)
+        assert alloc.symbol_duration_s == pytest.approx(4e-6)
+
+    def test_pilot_bins(self):
+        alloc = dot11g_allocation()
+        assert set(alloc.pilot_bins) == {(-21) % 64, (-7) % 64, 7, 21}
+
+
+class TestWidebandAllocation:
+    def test_paper_fig4_layout(self):
+        alloc = wideband_allocation(fft_size=160, start_bin=1)
+        assert alloc.occupied_bins[0] == 1
+        assert alloc.occupied_bins[-1] == 64
+        assert alloc.cp_length == 40
+        assert alloc.cp_duration_s == pytest.approx(0.8e-6)
+
+    def test_adjacent_block_pilots_inside_block(self):
+        alloc = adjacent_block_allocation(160, 40, start_bin=69, n_subcarriers=64)
+        assert min(alloc.occupied_bins) == 69
+        assert max(alloc.occupied_bins) == 132
+        assert all(69 <= b <= 132 for b in alloc.pilot_bins)
+
+    def test_block_must_fit(self):
+        with pytest.raises(ValueError):
+            adjacent_block_allocation(128, 32, start_bin=100, n_subcarriers=64)
+
+    def test_zero_pilot_block(self):
+        alloc = adjacent_block_allocation(160, 40, start_bin=0, n_subcarriers=16, n_pilots=0)
+        assert alloc.n_pilot_subcarriers == 0
+        assert alloc.n_data_subcarriers == 16
+
+
+class TestAllocationValidation:
+    def test_overlapping_data_and_pilots_rejected(self):
+        with pytest.raises(ValueError):
+            OfdmAllocation(fft_size=64, cp_length=16, data_bins=(1, 2), pilot_bins=(2,))
+
+    def test_out_of_range_bins_rejected(self):
+        with pytest.raises(ValueError):
+            OfdmAllocation(fft_size=64, cp_length=16, data_bins=(64,))
+
+    def test_cp_must_be_smaller_than_fft(self):
+        with pytest.raises(ValueError):
+            OfdmAllocation(fft_size=64, cp_length=64, data_bins=(1,))
+
+    def test_needs_data_subcarriers(self):
+        with pytest.raises(ValueError):
+            OfdmAllocation(fft_size=64, cp_length=16, data_bins=())
+
+    def test_occupied_sorted(self):
+        alloc = OfdmAllocation(fft_size=16, cp_length=4, data_bins=(5, 1), pilot_bins=(3,))
+        assert alloc.occupied_bins == (1, 3, 5)
+
+
+class TestPilots:
+    def test_polarity_values_are_plus_minus_one(self):
+        polarity = pilots.pilot_polarity_sequence(127)
+        assert set(np.unique(polarity)) <= {-1.0, 1.0}
+
+    def test_polarity_first_value(self):
+        # The 802.11 polarity sequence starts with +1.
+        assert pilots.pilot_polarity_sequence(1)[0] == 1.0
+
+    def test_start_index_offsets_sequence(self):
+        full = pilots.pilot_polarity_sequence(10)
+        shifted = pilots.pilot_polarity_sequence(9, start_index=1)
+        assert np.array_equal(full[1:], shifted)
+
+    def test_pilot_values_shape_and_pattern(self):
+        values = pilots.pilot_values(5, 4)
+        assert values.shape == (5, 4)
+        # Within a symbol the pattern is (1,1,1,-1) times the symbol polarity.
+        assert np.allclose(values[0] / values[0, 0], pilots.DOT11_PILOT_PATTERN)
+
+    def test_zero_pilots(self):
+        assert pilots.pilot_values(3, 0).shape == (3, 0)
+
+    def test_negative_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            pilots.pilot_polarity_sequence(-1)

@@ -1,0 +1,82 @@
+"""Unit tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import rng as rng_utils
+from repro.utils import validation
+
+
+class TestRng:
+    def test_ensure_rng_from_seed(self):
+        a = rng_utils.ensure_rng(5)
+        b = rng_utils.ensure_rng(5)
+        assert a.integers(0, 1000) == b.integers(0, 1000)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_utils.ensure_rng(gen) is gen
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(rng_utils.ensure_rng(None), np.random.Generator)
+
+    def test_child_rng_streams_independent(self):
+        a = rng_utils.child_rng(1, 0).integers(0, 10**9)
+        b = rng_utils.child_rng(1, 1).integers(0, 10**9)
+        assert a != b
+
+    def test_child_rng_deterministic(self):
+        assert (
+            rng_utils.child_rng(7, 3).integers(0, 10**9)
+            == rng_utils.child_rng(7, 3).integers(0, 10**9)
+        )
+
+    def test_spawn_rngs_count(self):
+        gens = rng_utils.spawn_rngs(2, 4)
+        assert len(gens) == 4
+        values = {g.integers(0, 10**9) for g in gens}
+        assert len(values) == 4
+
+
+class TestValidation:
+    def test_require_positive_int(self):
+        assert validation.require_positive_int(3, "x") == 3
+        with pytest.raises(ValueError):
+            validation.require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            validation.require_positive_int(1.5, "x")
+        with pytest.raises(TypeError):
+            validation.require_positive_int(True, "x")
+
+    def test_require_non_negative_int(self):
+        assert validation.require_non_negative_int(0, "x") == 0
+        with pytest.raises(ValueError):
+            validation.require_non_negative_int(-1, "x")
+
+    def test_require_positive(self):
+        assert validation.require_positive(0.5, "x") == 0.5
+        with pytest.raises(ValueError):
+            validation.require_positive(0.0, "x")
+
+    def test_require_in_range(self):
+        assert validation.require_in_range(0.5, "x", 0, 1) == 0.5
+        with pytest.raises(ValueError):
+            validation.require_in_range(2.0, "x", 0, 1)
+
+    def test_require_probability(self):
+        assert validation.require_probability(1.0, "p") == 1.0
+        with pytest.raises(ValueError):
+            validation.require_probability(1.5, "p")
+
+    def test_require_power_of_two(self):
+        assert validation.require_power_of_two(64, "n") == 64
+        with pytest.raises(ValueError):
+            validation.require_power_of_two(48, "n")
+
+    def test_require_unique_indices(self):
+        out = validation.require_unique_indices([1, 2, 3], "bins", 10)
+        assert list(out) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            validation.require_unique_indices([1, 1], "bins", 10)
+        with pytest.raises(ValueError):
+            validation.require_unique_indices([10], "bins", 10)
