@@ -1,0 +1,330 @@
+#!/usr/bin/env python
+"""Timing harness for the batched link-simulation engine.
+
+Each bench profile pins one figure's interference scenario (geometry, guard
+band, interferer placement) to a decoder-representative operating point — the
+paper's 400-byte packets, a dense constellation from its MCS evaluation set
+and the full ISI-free segment set, the regime the CPRecycle ML/KDE decoder is
+designed for — and times the same workload through both link engines:
+
+* ``fast``     — the batched engine (``Scenario.realize_batch``, batched
+  front end, pooled KDE training, fused vectorised ML decision, vectorised
+  FEC chain);
+* ``reference`` — the preserved seed path (per-packet loop, per-symbol
+  sphere decoding, reference KDE kernel, per-frame chain stages).
+
+Both engines consume identical per-packet RNG streams; the harness asserts
+that they produce identical packet outcomes before reporting a speedup, so a
+benchmark result is also an end-to-end equivalence check.
+
+For every profile a ``BENCH_<profile>.json`` file is written containing the
+wall time per engine, decoded-packets/second, the fast/reference speedup and
+the environment.  Committed baselines live next to this script; regenerate
+them with::
+
+    python benchmarks/run_bench.py                      # all profiles
+    python benchmarks/run_bench.py --profiles fig04     # one profile
+    python benchmarks/run_bench.py --check benchmarks/BENCH_fig04.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import CPRecycleConfig  # noqa: E402
+from repro.core.receiver import CPRecycleReceiver  # noqa: E402
+from repro.experiments.config import aci_scenario, build_receivers, cci_scenario  # noqa: E402
+from repro.experiments.link import packet_success_rate  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Keys every BENCH_*.json must carry (used by ``--check`` and CI).
+REQUIRED_KEYS = (
+    "schema_version",
+    "profile",
+    "description",
+    "n_packets",
+    "payload_length",
+    "receivers",
+    "fast",
+    "reference",
+    "speedup",
+    "identical_decisions",
+    "environment",
+)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One timed workload: a figure's scenario at a decoder-heavy operating point."""
+
+    name: str
+    description: str
+    scenario_kind: str  # "aci" or "cci"
+    scenario_kwargs: dict
+    mcs_name: str
+    sir_db: float
+    payload_length: int = 400
+    n_packets: int = 4
+    n_segments: int | None = None  # None: every ISI-free CP sample
+    receiver_names: tuple[str, ...] = ("cprecycle",)
+    seed: int = 2016
+
+    def build_scenario(self):
+        if self.scenario_kind == "aci":
+            return aci_scenario(
+                self.mcs_name,
+                sir_db=self.sir_db,
+                payload_length=self.payload_length,
+                **self.scenario_kwargs,
+            )
+        if self.scenario_kind == "cci":
+            return cci_scenario(
+                self.mcs_name,
+                sir_db=self.sir_db,
+                payload_length=self.payload_length,
+                **self.scenario_kwargs,
+            )
+        raise ValueError(f"unknown scenario kind {self.scenario_kind!r}")
+
+
+PROFILES: dict[str, BenchProfile] = {
+    # Fig. 4's interference geometry (single ACI block, 4-subcarrier guard,
+    # rectangular symbol edges) with every ISI-free CP sample, as in the
+    # figure's segment-opportunity analysis.
+    "fig04": BenchProfile(
+        name="fig04",
+        description=(
+            "Fig. 4 scenario: single adjacent-channel interferer, 4-subcarrier "
+            "guard band, rectangular edges; 16-QAM 1/2 at SIR -10 dB, full "
+            "ISI-free segment set, CPRecycle decoding"
+        ),
+        scenario_kind="aci",
+        scenario_kwargs=dict(edge_window_length=0),
+        mcs_name="16qam-1/2",
+        sir_db=-10.0,
+    ),
+    # Fig. 5's guard-band scenario (wider 16-subcarrier guard).
+    "fig05": BenchProfile(
+        name="fig05",
+        description=(
+            "Fig. 5 scenario: single adjacent-channel interferer behind a "
+            "16-subcarrier guard band, rectangular edges; 16-QAM 1/2 at SIR "
+            "-10 dB, full ISI-free segment set, CPRecycle decoding"
+        ),
+        scenario_kind="aci",
+        scenario_kwargs=dict(guard_subcarriers=16, edge_window_length=0),
+        mcs_name="16qam-1/2",
+        sir_db=-10.0,
+    ),
+    # Fig. 8's headline ACI comparison: standard vs CPRecycle side by side.
+    "fig08": BenchProfile(
+        name="fig08",
+        description=(
+            "Fig. 8 scenario: single adjacent-channel interferer; 16-QAM 1/2 "
+            "at SIR -14 dB, standard and CPRecycle receivers"
+        ),
+        scenario_kind="aci",
+        scenario_kwargs=dict(),
+        mcs_name="16qam-1/2",
+        sir_db=-14.0,
+        receiver_names=("standard", "cprecycle"),
+    ),
+    # Fig. 11's co-channel scenario on the 802.11g allocation.
+    "fig11": BenchProfile(
+        name="fig11",
+        description=(
+            "Fig. 11 scenario: single co-channel interferer on the 802.11g "
+            "allocation; 16-QAM 1/2 at SIR 15 dB, CPRecycle decoding"
+        ),
+        scenario_kind="cci",
+        scenario_kwargs=dict(),
+        mcs_name="16qam-1/2",
+        sir_db=15.0,
+    ),
+}
+
+
+def _build_receivers(profile: BenchProfile, scenario, batched: bool):
+    n_segments = (
+        scenario.allocation.cp_length if profile.n_segments is None else profile.n_segments
+    )
+    receivers = build_receivers(
+        scenario.allocation, profile.receiver_names, n_segments=profile.n_segments
+    )
+    if "cprecycle" in receivers:
+        # Construct afresh so the config reaches the front end too (assigning
+        # .config after construction would leave the front end's segment
+        # count frozen).
+        receivers["cprecycle"] = CPRecycleReceiver(
+            CPRecycleConfig(max_segments=n_segments, use_batched_decoder=batched)
+        )
+    return receivers
+
+
+def run_profile(profile: BenchProfile, n_packets: int | None = None, reps: int = 3) -> dict:
+    """Time one profile through both engines and return the result record."""
+    scenario = profile.build_scenario()
+    packets = profile.n_packets if n_packets is None else n_packets
+    engines = (("reference", False), ("fast", True))
+    receivers = {
+        engine: _build_receivers(profile, scenario, batched) for engine, batched in engines
+    }
+    # Warm caches (trellis tables, interleaver permutations, ...).
+    for engine, _ in engines:
+        packet_success_rate(scenario, receivers[engine], 1, seed=profile.seed, engine=engine)
+    # Interleave the repetitions so both engines sample the same machine
+    # conditions; the reported time is the best of each.
+    times: dict[str, list[float]] = {engine: [] for engine, _ in engines}
+    stats: dict[str, dict] = {}
+    for _ in range(reps):
+        for engine, _ in engines:
+            start = time.perf_counter()
+            stats[engine] = packet_success_rate(
+                scenario, receivers[engine], packets, seed=profile.seed, engine=engine
+            )
+            times[engine].append(time.perf_counter() - start)
+    results: dict[str, dict] = {}
+    outcomes: dict[str, dict[str, tuple]] = {}
+    for engine, _ in engines:
+        seconds = min(times[engine])
+        decoded_packets = packets * len(receivers[engine])
+        results[engine] = {
+            "seconds": round(seconds, 4),
+            "decoded_packets_per_second": round(decoded_packets / seconds, 2),
+        }
+        # Per-packet CRC outcomes, so compensating per-packet disagreements
+        # cannot hide behind equal aggregate counts.
+        outcomes[engine] = {name: stat.successes for name, stat in stats[engine].items()}
+
+    identical = outcomes["fast"] == outcomes["reference"]
+    record = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile.name,
+        "description": profile.description,
+        "mcs": profile.mcs_name,
+        "sir_db": profile.sir_db,
+        "n_packets": packets,
+        "payload_length": profile.payload_length,
+        "n_segments": (
+            scenario.allocation.cp_length if profile.n_segments is None else profile.n_segments
+        ),
+        "receivers": list(profile.receiver_names),
+        "seed": profile.seed,
+        "reps": reps,
+        "fast": results["fast"],
+        "reference": results["reference"],
+        "speedup": round(results["reference"]["seconds"] / results["fast"]["seconds"], 2),
+        "identical_decisions": identical,
+        "packet_success": {
+            name: {"n_success": sum(successes), "n_packets": packets}
+            for name, successes in outcomes["fast"].items()
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+    return record
+
+
+def check_file(path: Path) -> list[str]:
+    """Validate one BENCH_*.json; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable or invalid JSON ({error})"]
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            problems.append(f"{path}: missing key {key!r}")
+    if problems:
+        return problems
+    for engine in ("fast", "reference"):
+        section = record[engine]
+        if not isinstance(section, dict) or "seconds" not in section:
+            problems.append(f"{path}: section {engine!r} lacks 'seconds'")
+        elif not (isinstance(section["seconds"], (int, float)) and section["seconds"] > 0):
+            problems.append(f"{path}: {engine}.seconds must be a positive number")
+    if not isinstance(record["speedup"], (int, float)) or record["speedup"] <= 0:
+        problems.append(f"{path}: speedup must be a positive number")
+    if record["identical_decisions"] is not True:
+        problems.append(f"{path}: fast and reference engines disagreed on packet outcomes")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profiles",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help=f"profiles to run (default: all). Choices: {', '.join(PROFILES)}",
+    )
+    parser.add_argument(
+        "--packets", type=int, default=None, help="override the per-profile packet count"
+    )
+    parser.add_argument("--reps", type=int, default=3, help="timing repetitions (min is kept)")
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent,
+        help="directory for BENCH_<profile>.json files (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--check",
+        nargs="+",
+        type=Path,
+        metavar="FILE",
+        help="validate existing BENCH_*.json files instead of running benchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        problems = [problem for path in args.check for problem in check_file(path)]
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if not problems:
+            print(f"{len(args.check)} benchmark file(s) well-formed")
+        return 1 if problems else 0
+
+    names = args.profiles if args.profiles else list(PROFILES)
+    unknown = [name for name in names if name not in PROFILES]
+    if unknown:
+        parser.error(f"unknown profiles {unknown}; valid: {sorted(PROFILES)}")
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+
+    failures = 0
+    for name in names:
+        record = run_profile(PROFILES[name], n_packets=args.packets, reps=args.reps)
+        out_path = args.output_dir / f"BENCH_{name}.json"
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        flag = "" if record["identical_decisions"] else "  !! ENGINES DISAGREE"
+        print(
+            f"{name}: fast {record['fast']['seconds']:.3f}s "
+            f"({record['fast']['decoded_packets_per_second']:.1f} pkt/s) "
+            f"vs reference {record['reference']['seconds']:.3f}s "
+            f"-> {record['speedup']:.2f}x speedup{flag}  [{out_path}]"
+        )
+        if not record["identical_decisions"]:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,19 +78,20 @@ class InterferenceModel:
             phase_weight=self.config.phase_weight,
             min_bandwidth_amplitude=self.config.min_bandwidth_amplitude,
             min_bandwidth_phase=self.config.min_bandwidth_phase,
+            max_chunk_elements=self.config.kde_chunk_elements,
         )
 
     # ------------------------------------------------------------------ #
-    @classmethod
-    def from_front_end(
-        cls, front: FrontEndOutput, config: CPRecycleConfig | None = None
-    ) -> "InterferenceModel":
-        """Train the model from a front end's equalised preamble segments.
+    @staticmethod
+    def deviations_from_front_end(front: FrontEndOutput) -> np.ndarray:
+        """Training deviations of a front end, shape ``(n_data, P, Np)``.
 
         The deviation samples for data subcarrier ``f`` are
         ``X_hat_j,s[f] - X_s[f]`` for every segment ``j`` and training symbol
         ``s`` (paper's ``R_A`` and ``R_phi``), where ``X_s`` are the known
-        training values.
+        training values.  Exposed separately from :meth:`from_front_end` so
+        that batched link simulations can pool the deviations of many packets
+        into one model bank before fitting any kernel density.
         """
         allocation = front.allocation
         data_bins = allocation.data_bin_array()
@@ -98,7 +99,14 @@ class InterferenceModel:
         known = front.spec.preamble_frequency[:, data_bins]  # (Np, n_data)
         deviations = observed - known[None, :, :]
         # Reorder to (n_data, P, Np).
-        return cls(np.transpose(deviations, (2, 0, 1)), config)
+        return np.transpose(deviations, (2, 0, 1))
+
+    @classmethod
+    def from_front_end(
+        cls, front: FrontEndOutput, config: CPRecycleConfig | None = None
+    ) -> "InterferenceModel":
+        """Train the model from a front end's equalised preamble segments."""
+        return cls(cls.deviations_from_front_end(front), config)
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,19 +147,35 @@ class InterferenceModel:
         merged = np.concatenate([self.deviations, new_deviations], axis=2)
         return InterferenceModel(merged, self.config)
 
-    def log_likelihood(self, deviations: np.ndarray) -> np.ndarray:
+    def log_likelihood(
+        self, deviations: np.ndarray, fused: bool = False, segments_first: bool = False
+    ) -> np.ndarray:
         """Joint log-likelihood of candidate deviations across segments.
 
-        ``deviations`` is a complex array of shape ``(n_data, k, P)`` holding,
-        for every data subcarrier and candidate lattice point, the deviation of
-        each segment's observation from that candidate.  The result has shape
-        ``(n_data, k)``: the sum over segments of the per-segment log densities
-        (the log of the product in Eq. 5).
+        ``deviations`` is a complex array of shape ``(n_data, ..., k, P)``
+        holding, for every data subcarrier and candidate lattice point, the
+        deviation of each segment's observation from that candidate.  Any
+        number of batch axes (OFDM symbols, packets) may sit between the
+        subcarrier and candidate axes; the classic single-symbol query is the
+        three-dimensional ``(n_data, k, P)`` case.  The result drops the
+        segment axis — ``(n_data, ..., k)``: the sum over segments of the
+        per-segment log densities (the log of the product in Eq. 5).
+
+        ``fused`` selects the pass-minimised kernel evaluation (see
+        :meth:`GaussianProductKde.log_density`); the batched decoder enables
+        it, the per-symbol reference path keeps the reference kernel.
+
+        ``segments_first`` declares the layout ``(n_data, P, ..., k)`` instead
+        of ``(n_data, ..., k, P)``.  The batched decoder builds its deviation
+        tensor in that layout because it matches the per-segment series
+        ordering exactly, making the flatten below a zero-copy reshape of a
+        tensor that would otherwise need a full transposed copy per call.
         """
         deviations = np.asarray(deviations, dtype=complex)
-        if deviations.ndim != 3:
-            raise ValueError("deviations must have shape (n_data, k, P)")
-        n_data, k, n_segments = deviations.shape
+        if deviations.ndim < 3:
+            raise ValueError("deviations must have shape (n_data, ..., k, P)")
+        n_data = deviations.shape[0]
+        n_segments = deviations.shape[1] if segments_first else deviations.shape[-1]
         if n_data != self.n_subcarriers:
             raise ValueError(
                 f"expected a leading axis of {self.n_subcarriers} subcarriers, got {n_data}"
@@ -161,9 +185,85 @@ class InterferenceModel:
                 f"expected {self.n_segments} segments, got {n_segments}"
             )
         if self.config.model_scope == "pooled":
-            log_density = self.kde.log_density(np.abs(deviations), np.angle(deviations))
-            return log_density.sum(axis=-1)
-        # per-segment: series axis is (subcarrier, segment).
-        rearranged = np.transpose(deviations, (0, 2, 1)).reshape(n_data * n_segments, k)
-        log_density = self.kde.log_density(np.abs(rearranged), np.angle(rearranged))
-        return log_density.reshape(n_data, n_segments, k).sum(axis=1)
+            if fused:
+                log_density = self.kde.log_density_complex(deviations)
+            else:
+                log_density = self.kde.log_density(np.abs(deviations), np.angle(deviations))
+            # Pool over the segment axis (position 1 or last, per layout).
+            return log_density.sum(axis=1 if segments_first else -1)
+        # per-segment: series axis is (subcarrier, segment); arrange the
+        # segment axis next to the subcarriers and flatten the two into the
+        # series axis.
+        rearranged = deviations if segments_first else np.moveaxis(deviations, -1, 1)
+        flattened = rearranged.reshape(n_data * n_segments, *rearranged.shape[2:])
+        if fused:
+            log_density = self.kde.log_density_complex(flattened)
+        else:
+            log_density = self.kde.log_density(np.abs(flattened), np.angle(flattened))
+        return log_density.reshape(n_data, n_segments, *rearranged.shape[2:]).sum(axis=1)
+
+    def candidate_log_likelihood(
+        self, observations: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        """Fully-fused joint log-likelihood of candidate lattice points.
+
+        The batched decoder's hot loop: given per-segment observations
+        ``(n_data, P, n_symbols)`` and candidate points ``(n_data, n_symbols,
+        k)``, returns the segment-summed log-likelihood ``(n_data, n_symbols,
+        k)`` of every candidate.  Equivalent to building the full deviation
+        tensor and calling :meth:`log_likelihood`, but the deviations, their
+        polar conversion and the kernel evaluation all happen chunk by chunk
+        inside the KDE memory budget, so no candidate-sized intermediate ever
+        reaches full size — the dominant memory-bandwidth cost of the decoder
+        at realistic frame sizes.
+        """
+        observations = np.asarray(observations, dtype=complex)
+        points = np.asarray(points, dtype=complex)
+        if observations.ndim != 3 or points.ndim != 3:
+            raise ValueError(
+                "observations must have shape (n_data, P, n_symbols) and points "
+                "(n_data, n_symbols, k)"
+            )
+        n_data, n_segments, n_symbols = observations.shape
+        if points.shape[:2] != (n_data, n_symbols):
+            raise ValueError(
+                f"points shape {points.shape} does not match observations "
+                f"({n_data}, P, {n_symbols})"
+            )
+        k = points.shape[-1]
+        if n_data != self.n_subcarriers:
+            raise ValueError(
+                f"expected {self.n_subcarriers} subcarriers, got {n_data}"
+            )
+        if n_segments != self.n_segments:
+            raise ValueError(f"expected {self.n_segments} segments, got {n_segments}")
+        kde = self.kde
+        per_segment = self.config.model_scope == "per-segment"
+        pairs_per_subcarrier = n_segments * n_symbols * k * kde.n_samples
+        chunk = max(1, kde.max_chunk_elements // max(pairs_per_subcarrier, 1))
+        out = np.empty((n_data, n_symbols, k))
+        for first in range(0, n_data, chunk):
+            last = min(first + chunk, n_data)
+            rows = last - first
+            deviations = (
+                observations[first:last, :, :, None] - points[first:last, None, :, :]
+            )  # (rows, P, n_symbols, k)
+            amplitudes = np.abs(deviations)
+            phases = np.arctan2(deviations.imag, deviations.real)
+            if per_segment:
+                log_density = kde._log_density_fused_block(
+                    amplitudes.reshape(rows * n_segments, n_symbols, k),
+                    phases.reshape(rows * n_segments, n_symbols, k),
+                    first * n_segments,
+                    last * n_segments,
+                    owns_inputs=True,
+                )
+                out[first:last] = log_density.reshape(
+                    rows, n_segments, n_symbols, k
+                ).sum(axis=1)
+            else:
+                log_density = kde._log_density_fused_block(
+                    amplitudes, phases, first, last, owns_inputs=True
+                )
+                out[first:last] = log_density.sum(axis=1)
+        return out

@@ -71,11 +71,69 @@ class FixedSphereMlDecoder:
         best = np.argmax(log_likelihood, axis=1)
         return candidates.indices[np.arange(n_data), best]
 
-    def decode_frame(self, observations: np.ndarray, model: InterferenceModel) -> np.ndarray:
+    def decode_frame(
+        self,
+        observations: np.ndarray,
+        model: InterferenceModel,
+        batched: bool | None = None,
+    ) -> np.ndarray:
         """Decode all data symbols of a frame.
 
         ``observations`` has shape ``(P, n_symbols, n_data_subcarriers)``;
         the result has shape ``(n_symbols, n_data_subcarriers)``.
+
+        ``batched`` selects the vectorised fast path (one sphere selection and
+        one KDE evaluation covering every symbol) or the per-symbol reference
+        loop; ``None`` defers to ``config.use_batched_decoder``.  The fast
+        path evaluates the same likelihoods through the fused kernel, whose
+        floating-point reassociation changes log-densities only at the
+        ~1e-12 level; decisions are identical unless two candidates tie to
+        within that rounding, which the equivalence suite pins down across
+        constellations, scopes and real scenario workloads.
+        """
+        observations = np.asarray(observations, dtype=complex)
+        if observations.ndim != 3:
+            raise ValueError("observations must have shape (P, n_symbols, n_data)")
+        use_batched = self.config.use_batched_decoder if batched is None else batched
+        if not use_batched:
+            return self.decode_frame_reference(observations, model)
+        n_segments, n_symbols, n_data = observations.shape
+        if n_data != model.n_subcarriers:
+            raise ValueError(
+                f"observations cover {n_data} subcarriers but the model was trained on "
+                f"{model.n_subcarriers}"
+            )
+        centers = centroid(observations, axis=0)  # (n_symbols, n_data)
+        candidates = select_sphere_candidates(
+            self.constellation,
+            centers.reshape(-1),
+            radius=self.sphere_radius,
+            max_candidates=self.config.max_candidates,
+        )
+        k = candidates.n_candidates
+        points = candidates.points.reshape(n_symbols, n_data, k)
+        # The candidate deviations, their polar conversion and the kernel
+        # evaluation run chunk by chunk inside the model — no frame-sized
+        # candidate tensor is ever materialised.
+        subcarrier_major = np.ascontiguousarray(np.transpose(observations, (2, 0, 1)))
+        candidate_major = np.ascontiguousarray(np.transpose(points, (1, 0, 2)))
+        log_likelihood = model.candidate_log_likelihood(
+            subcarrier_major, candidate_major
+        )                                                             # (n_data, S, k)
+        valid = np.moveaxis(candidates.valid.reshape(n_symbols, n_data, k), 0, 1)
+        log_likelihood = np.where(valid, log_likelihood, -np.inf)
+        best = np.argmax(log_likelihood, axis=-1)                     # (n_data, S)
+        indices = np.moveaxis(candidates.indices.reshape(n_symbols, n_data, k), 0, 1)
+        decided = np.take_along_axis(indices, best[..., None], axis=-1)[..., 0]
+        return np.ascontiguousarray(decided.T, dtype=np.int64)        # (S, n_data)
+
+    def decode_frame_reference(
+        self, observations: np.ndarray, model: InterferenceModel
+    ) -> np.ndarray:
+        """Per-symbol reference implementation of :meth:`decode_frame`.
+
+        Kept as the verification fallback: the fast path must match its output
+        bit for bit (see ``tests/test_fast_path.py``).
         """
         observations = np.asarray(observations, dtype=complex)
         if observations.ndim != 3:

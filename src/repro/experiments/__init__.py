@@ -11,7 +11,13 @@ from repro.experiments.config import (
     cci_scenario,
     default_profile,
 )
-from repro.experiments.link import PacketStats, packet_success_rate, symbol_error_rate
+from repro.experiments.link import (
+    PacketStats,
+    default_engine,
+    packet_success_rate,
+    symbol_error_rate,
+)
+from repro.experiments.parallel import parallel_map, resolve_workers
 from repro.experiments.results import FigureResult, format_table
 
 __all__ = [
@@ -25,8 +31,11 @@ __all__ = [
     "aci_scenario",
     "build_receivers",
     "cci_scenario",
+    "default_engine",
     "default_profile",
     "format_table",
     "packet_success_rate",
+    "parallel_map",
+    "resolve_workers",
     "symbol_error_rate",
 ]

@@ -8,6 +8,8 @@ where the standard receiver loses every packet.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
 from repro.experiments.sweeps import psr_vs_sir, sir_axis
@@ -19,6 +21,7 @@ def run(
     profile: ExperimentProfile | None = None,
     mcs_names: tuple[str, ...] = PAPER_MCS_SET,
     sir_range_db: tuple[float, float] = (-32.0, -8.0),
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with one adjacent-channel interferer."""
     profile = profile or default_profile()
@@ -26,13 +29,14 @@ def run(
     return psr_vs_sir(
         figure="Figure 8",
         title="PSR vs SIR, single adjacent-channel interferer",
-        scenario_factory=lambda mcs, sir: aci_scenario(
-            mcs, sir_db=sir, payload_length=profile.payload_length
-        ),
+        # partial of a module-level function: picklable, so sweep points can
+        # run on pool workers.
+        scenario_factory=partial(aci_scenario, payload_length=profile.payload_length),
         mcs_names=mcs_names,
         sir_values_db=sir_values,
         profile=profile,
         notes=["interferer on the adjacent subcarrier block, 4-subcarrier guard band"],
+        n_workers=n_workers,
     )
 
 

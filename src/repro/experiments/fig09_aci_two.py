@@ -7,6 +7,8 @@ per-subcarrier interference model keeps most of its gain.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
 from repro.experiments.sweeps import psr_vs_sir, sir_axis
@@ -18,6 +20,7 @@ def run(
     profile: ExperimentProfile | None = None,
     mcs_names: tuple[str, ...] = PAPER_MCS_SET,
     sir_range_db: tuple[float, float] = (-32.0, -8.0),
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with interferers on both adjacent blocks."""
     profile = profile or default_profile()
@@ -25,13 +28,14 @@ def run(
     return psr_vs_sir(
         figure="Figure 9",
         title="PSR vs SIR, two adjacent-channel interferers",
-        scenario_factory=lambda mcs, sir: aci_scenario(
-            mcs, sir_db=sir, payload_length=profile.payload_length, two_sided=True
+        scenario_factory=partial(
+            aci_scenario, payload_length=profile.payload_length, two_sided=True
         ),
         mcs_names=mcs_names,
         sir_values_db=sir_values,
         profile=profile,
         notes=["interferers on both sides of the sender; SIR counts their combined power"],
+        n_workers=n_workers,
     )
 
 

@@ -8,6 +8,8 @@ CPRecycle's gain is smaller but still material.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, cci_scenario, default_profile
 from repro.experiments.results import FigureResult
 from repro.experiments.sweeps import psr_vs_sir, sir_axis
@@ -19,6 +21,7 @@ def run(
     profile: ExperimentProfile | None = None,
     mcs_names: tuple[str, ...] = PAPER_MCS_SET,
     sir_range_db: tuple[float, float] = (-5.0, 25.0),
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with a single co-channel interferer."""
     profile = profile or default_profile()
@@ -26,13 +29,12 @@ def run(
     return psr_vs_sir(
         figure="Figure 11",
         title="PSR vs SIR, single co-channel interferer (802.11g)",
-        scenario_factory=lambda mcs, sir: cci_scenario(
-            mcs, sir_db=sir, payload_length=profile.payload_length
-        ),
+        scenario_factory=partial(cci_scenario, payload_length=profile.payload_length),
         mcs_names=mcs_names,
         sir_values_db=sir_values,
         profile=profile,
         notes=["interferer occupies the same 802.11g subcarriers, clear channel assessment off"],
+        n_workers=n_workers,
     )
 
 

@@ -8,6 +8,8 @@ exactly the paper's observation.
 
 from __future__ import annotations
 
+from functools import partial
+
 from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, cci_scenario, default_profile
 from repro.experiments.results import FigureResult
 from repro.experiments.sweeps import psr_vs_sir, sir_axis
@@ -19,6 +21,7 @@ def run(
     profile: ExperimentProfile | None = None,
     mcs_names: tuple[str, ...] = PAPER_MCS_SET,
     sir_range_db: tuple[float, float] = (-5.0, 25.0),
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with two co-channel interferers."""
     profile = profile or default_profile()
@@ -26,13 +29,14 @@ def run(
     return psr_vs_sir(
         figure="Figure 12",
         title="PSR vs SIR, two co-channel interferers (802.11g)",
-        scenario_factory=lambda mcs, sir: cci_scenario(
-            mcs, sir_db=sir, payload_length=profile.payload_length, n_interferers=2
+        scenario_factory=partial(
+            cci_scenario, payload_length=profile.payload_length, n_interferers=2
         ),
         mcs_names=mcs_names,
         sir_values_db=sir_values,
         profile=profile,
         notes=["two equal-power co-channel interferers; SIR counts their combined power"],
+        n_workers=n_workers,
     )
 
 

@@ -2,14 +2,27 @@
 
 ``packet_success_rate`` runs the same sequence of channel/interference
 realisations through several receivers and reports each receiver's packet
-success rate — the paper's primary metric.  The per-packet front-end and
-symbol decisions run per receiver, while the forward-error-correction stage
-is batched across packets (one vectorised Viterbi sweep per receiver), which
-dominates the runtime of large sweeps.
+success rate — the paper's primary metric.
+
+Two execution engines are provided:
+
+* ``"fast"`` (default) — the batched path: every packet of a sweep point is
+  realised up front (:meth:`Scenario.realize_batch`), each receiver
+  demodulates the whole batch through its ``demodulate_batch`` entry point
+  (CPRecycle pools KDE training and the ML decision across packets and
+  symbols), and the forward-error-correction stage runs as one vectorised
+  Viterbi sweep per receiver.
+* ``"reference"`` — the original per-packet loop, kept as the verification
+  fallback.  Both engines consume identical per-packet child RNG streams and
+  produce bit-identical decisions; ``tests/test_fast_path.py`` asserts it.
+
+Select the engine per call or process-wide with the ``REPRO_ENGINE``
+environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Mapping
 from dataclasses import dataclass
 
@@ -17,19 +30,61 @@ import numpy as np
 
 from repro.channel.scenario import Scenario
 from repro.receiver.base import OfdmReceiverBase
-from repro.receiver.decode_chain import decode_coded_bits_batch
+from repro.receiver.decode_chain import (
+    decode_coded_bits_batch,
+    decode_coded_bits_batch_reference,
+)
 from repro.utils.rng import child_rng
 
-__all__ = ["PacketStats", "packet_success_rate", "symbol_error_rate"]
+__all__ = [
+    "PacketStats",
+    "default_engine",
+    "packet_success_rate",
+    "symbol_error_rate",
+]
+
+_ENGINES = ("fast", "reference")
+
+#: Packets realised and demodulated together by the fast engine.  Bounds the
+#: engine's working set (waveforms, stacked FFT tensors, equalised spectra)
+#: at paper-scale packet counts while keeping batches large enough for the
+#: pooled KDE/ML decode to amortise; chunk boundaries do not change a single
+#: sample because every packet derives from its own child RNG stream.
+FAST_ENGINE_BATCH = 16
+
+
+def default_engine() -> str:
+    """Link engine selected by the ``REPRO_ENGINE`` environment variable."""
+    choice = os.environ.get("REPRO_ENGINE", "fast").strip().lower()
+    if choice == "":
+        return "fast"
+    if choice not in _ENGINES:
+        raise ValueError(f"unknown REPRO_ENGINE {choice!r}; use 'fast' or 'reference'")
+    return choice
+
+
+def _resolve_engine(engine: str | None) -> str:
+    if engine is None:
+        return default_engine()
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; use 'fast' or 'reference'")
+    return engine
 
 
 @dataclass(frozen=True)
 class PacketStats:
-    """Packet-decoding statistics of one receiver over one scenario point."""
+    """Packet-decoding statistics of one receiver over one scenario point.
+
+    ``successes`` records the per-packet CRC outcome in packet order; the
+    benchmark harness compares it between engines so that compensating
+    errors (one engine failing packet A, the other packet B) cannot hide
+    behind equal aggregate counts.
+    """
 
     receiver: str
     n_packets: int
     n_success: int
+    successes: tuple[bool, ...] = ()
 
     @property
     def success_rate(self) -> float:
@@ -49,6 +104,7 @@ def packet_success_rate(
     receivers: Mapping[str, OfdmReceiverBase],
     n_packets: int,
     seed: int = 0,
+    engine: str | None = None,
 ) -> dict[str, PacketStats]:
     """Packet success rate of each receiver over ``n_packets`` realisations.
 
@@ -59,18 +115,34 @@ def packet_success_rate(
         raise ValueError("n_packets must be at least 1")
     if not receivers:
         raise ValueError("at least one receiver is required")
+    engine = _resolve_engine(engine)
     spec = scenario.frame_spec
     coded: dict[str, list[np.ndarray]] = {name: [] for name in receivers}
-    for index in range(n_packets):
-        rx = scenario.realize(child_rng(seed, index))
-        for name, receiver in receivers.items():
-            coded[name].append(receiver.demodulate(rx).coded_bits)
+    if engine == "fast":
+        for start in range(0, n_packets, FAST_ENGINE_BATCH):
+            count = min(FAST_ENGINE_BATCH, n_packets - start)
+            rxs = scenario.realize_batch(count, seed, first_index=start)
+            for name, receiver in receivers.items():
+                coded[name].extend(d.coded_bits for d in receiver.demodulate_batch(rxs))
+    else:
+        for index in range(n_packets):
+            rx = scenario.realize(child_rng(seed, index))
+            for name, receiver in receivers.items():
+                coded[name].append(receiver.demodulate(rx).coded_bits)
 
+    decode_batch = (
+        decode_coded_bits_batch if engine == "fast" else decode_coded_bits_batch_reference
+    )
     stats: dict[str, PacketStats] = {}
     for name in receivers:
-        frames = decode_coded_bits_batch(spec, np.stack(coded[name]))
-        n_success = sum(frame.crc_ok for frame in frames)
-        stats[name] = PacketStats(receiver=name, n_packets=n_packets, n_success=n_success)
+        frames = decode_batch(spec, np.stack(coded[name]))
+        successes = tuple(bool(frame.crc_ok) for frame in frames)
+        stats[name] = PacketStats(
+            receiver=name,
+            n_packets=n_packets,
+            n_success=sum(successes),
+            successes=successes,
+        )
     return stats
 
 
@@ -79,18 +151,37 @@ def symbol_error_rate(
     receivers: Mapping[str, OfdmReceiverBase],
     n_packets: int,
     seed: int = 0,
+    engine: str | None = None,
 ) -> dict[str, float]:
-    """Raw (pre-FEC) symbol error rate of each receiver — a diagnostic metric."""
+    """Raw (pre-FEC) symbol error rate of each receiver — a diagnostic metric.
+
+    With the fast engine each waveform is realised once and every receiver
+    demodulates the same batch, so adding a receiver never re-draws the
+    channel and the per-packet work is shared across the comparison.
+    """
     if n_packets < 1:
         raise ValueError("n_packets must be at least 1")
+    engine = _resolve_engine(engine)
     errors = {name: 0 for name in receivers}
     total = 0
-    for index in range(n_packets):
-        rx = scenario.realize(child_rng(seed, index))
-        constellation = rx.spec.mcs.constellation
-        true_indices = constellation.nearest_indices(rx.tx_frame.data_points)
-        total += true_indices.size
-        for name, receiver in receivers.items():
-            decisions = receiver.demodulate(rx).decisions
-            errors[name] += int(np.count_nonzero(decisions != true_indices))
+    if engine == "fast":
+        for start in range(0, n_packets, FAST_ENGINE_BATCH):
+            count = min(FAST_ENGINE_BATCH, n_packets - start)
+            rxs = scenario.realize_batch(count, seed, first_index=start)
+            true_indices = [
+                rx.spec.mcs.constellation.nearest_indices(rx.tx_frame.data_points) for rx in rxs
+            ]
+            total += sum(indices.size for indices in true_indices)
+            for name, receiver in receivers.items():
+                for demodulated, truth in zip(receiver.demodulate_batch(rxs), true_indices):
+                    errors[name] += int(np.count_nonzero(demodulated.decisions != truth))
+    else:
+        for index in range(n_packets):
+            rx = scenario.realize(child_rng(seed, index))
+            constellation = rx.spec.mcs.constellation
+            true_indices = constellation.nearest_indices(rx.tx_frame.data_points)
+            total += true_indices.size
+            for name, receiver in receivers.items():
+                decisions = receiver.demodulate(rx).decisions
+                errors[name] += int(np.count_nonzero(decisions != true_indices))
     return {name: errors[name] / total for name in receivers}

@@ -1,0 +1,82 @@
+"""Process-pool execution backend for the experiment sweeps.
+
+The packet-success-rate figures evaluate many independent (MCS, SIR) points;
+each point derives every random draw from its own explicit seed (see
+:mod:`repro.utils.rng`), so points can execute in any order on any worker
+without changing a single sample.  This module provides the small, dependency
+free scaffolding for that: :func:`resolve_workers` reads the worker count
+(argument, then the ``REPRO_WORKERS`` environment variable, then 1) and
+:func:`parallel_map` fans a function over a list of picklable tasks with a
+:class:`concurrent.futures.ProcessPoolExecutor`, preserving input order.
+
+Serial execution (``n_workers=1``, the default) bypasses the pool entirely,
+and unpicklable work falls back to the serial path with a warning instead of
+failing, so figure modules can always call through this layer.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TypeVar
+
+__all__ = ["resolve_workers", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(n_workers: int | None = None) -> int:
+    """Resolve the worker count: explicit argument, ``REPRO_WORKERS``, else 1."""
+    if n_workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            n_workers = int(raw)
+        except ValueError as error:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from error
+    if n_workers < 1:
+        raise ValueError(f"worker count must be at least 1, got {n_workers}")
+    return n_workers
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    n_workers: int | None = None,
+) -> list[_R]:
+    """Apply ``fn`` to every item, optionally across a process pool.
+
+    Results preserve the input order regardless of completion order.  With
+    one worker (or one item) the pool is bypassed; if ``fn`` or the items
+    cannot be pickled the call degrades to serial execution with a warning so
+    that closures passed by older callers keep working.
+    """
+    tasks: Sequence[_T] = list(items)
+    workers = resolve_workers(n_workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    if not _picklable(fn, tasks):
+        warnings.warn(
+            "parallel_map fell back to serial execution: the task function or its "
+            "arguments are not picklable (pass module-level functions / "
+            "functools.partial objects to run across processes)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))

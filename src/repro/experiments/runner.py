@@ -2,14 +2,17 @@
 
 Usage::
 
-    cprecycle-experiments                # run everything with the quick profile
-    cprecycle-experiments fig8 fig11     # run a subset
-    cprecycle-experiments --profile full # paper-scale run (hours)
+    cprecycle-experiments                 # run everything with the quick profile
+    cprecycle-experiments fig8 fig11      # run a subset
+    cprecycle-experiments --profile full  # paper-scale run (hours)
+    cprecycle-experiments --workers 8     # process-pool parallel sweep points
+    cprecycle-experiments --engine reference  # per-packet verification engine
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from collections.abc import Callable
 
 from repro.experiments import (
@@ -72,13 +75,47 @@ def main(argv: list[str] | None = None) -> int:
         default="quick",
         help="quick: seconds per figure; full: paper-scale packet counts",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent sweep points on N worker processes "
+        "(default: REPRO_WORKERS or serial); results are identical for any N",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="link-simulation engine: 'fast' (batched, default) or 'reference' "
+        "(per-packet/per-symbol verification fallback)",
+    )
     args = parser.parse_args(argv)
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
-
-    for name in args.experiments:
-        result = run_experiment(name, profile)
-        print(format_table(result))
-        print()
+    # Thread the execution knobs through the figure modules via the
+    # environment so that every nested sweep picks them up; restore the
+    # previous values on exit so an in-process caller's later work is not
+    # silently switched to this invocation's engine or worker count.
+    overrides: dict[str, str] = {}
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be at least 1")
+        overrides["REPRO_WORKERS"] = str(args.workers)
+    if args.engine is not None:
+        overrides["REPRO_ENGINE"] = args.engine
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        for name in args.experiments:
+            result = run_experiment(name, profile)
+            print(format_table(result))
+            print()
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     return 0
 
 

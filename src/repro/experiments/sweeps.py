@@ -1,14 +1,25 @@
-"""Shared sweep helpers for the packet-success-rate figures."""
+"""Shared sweep helpers for the packet-success-rate figures.
+
+Every (MCS, SIR) point of a sweep is an independent simulation with its own
+deterministic seed, so :func:`psr_vs_sir` dispatches the points through
+:func:`repro.experiments.parallel.parallel_map` — serial by default, and
+across a process pool when ``n_workers`` (or ``REPRO_WORKERS``) is greater
+than one.  Scenario factories must be picklable for the pool to engage
+(module-level functions or :func:`functools.partial` objects, as the figure
+modules provide); closures still work but force serial execution.
+"""
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.channel.scenario import Scenario
 from repro.experiments.config import ExperimentProfile, build_receivers
 from repro.experiments.link import packet_success_rate
+from repro.experiments.parallel import parallel_map
 from repro.experiments.results import FigureResult
 
 __all__ = ["psr_vs_sir", "sir_axis"]
@@ -21,6 +32,34 @@ def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
     return [round(float(value), 2) for value in np.linspace(low_db, high_db, n_points)]
 
 
+@dataclass(frozen=True)
+class _SweepPoint:
+    """One independently-executable (MCS, SIR) point of a sweep."""
+
+    scenario_factory: Callable[[str, float], Scenario]
+    mcs_name: str
+    sir_db: float
+    receiver_names: tuple[str, ...]
+    n_packets: int
+    seed: int
+    engine: str | None = field(default=None)
+
+
+def _run_sweep_point(point: _SweepPoint) -> dict[str, float]:
+    """Simulate one sweep point and return success percentages per receiver.
+
+    Module-level so that it pickles into pool workers; all randomness derives
+    from ``point.seed``, making the result independent of which worker (or
+    order) executes it.
+    """
+    scenario = point.scenario_factory(point.mcs_name, point.sir_db)
+    receivers = build_receivers(scenario.allocation, point.receiver_names)
+    stats = packet_success_rate(
+        scenario, receivers, point.n_packets, seed=point.seed, engine=point.engine
+    )
+    return {name: stats[name].success_percent for name in point.receiver_names}
+
+
 def psr_vs_sir(
     figure: str,
     title: str,
@@ -30,24 +69,38 @@ def psr_vs_sir(
     profile: ExperimentProfile,
     receiver_names: tuple[str, ...] = ("standard", "cprecycle"),
     notes: list[str] | None = None,
+    n_workers: int | None = None,
+    engine: str | None = None,
 ) -> FigureResult:
     """Packet success rate versus SIR for several MCS modes and receivers.
 
     ``scenario_factory(mcs_name, sir_db)`` builds the scenario of one sweep
     point; each (MCS, receiver) pair becomes one series of the figure, named
     the way the paper labels its curves ("QPSK (1/2) With CPRecycle", ...).
+    Points run through the parallel execution backend; results are assembled
+    in deterministic point order whatever the execution order was.  ``engine``
+    picks the link engine per point (``None``: the ``REPRO_ENGINE`` default).
     """
+    points = [
+        _SweepPoint(
+            scenario_factory=scenario_factory,
+            mcs_name=mcs_name,
+            sir_db=sir_db,
+            receiver_names=receiver_names,
+            n_packets=profile.n_packets,
+            seed=profile.seed,
+            engine=engine,
+        )
+        for mcs_name in mcs_names
+        for sir_db in sir_values_db
+    ]
+    outcomes = parallel_map(_run_sweep_point, points, n_workers=n_workers)
+
     series: dict[str, list[float]] = {}
-    for mcs_name in mcs_names:
-        for sir_db in sir_values_db:
-            scenario = scenario_factory(mcs_name, sir_db)
-            receivers = build_receivers(scenario.allocation, receiver_names)
-            stats = packet_success_rate(
-                scenario, receivers, profile.n_packets, seed=profile.seed
-            )
-            for receiver_name in receiver_names:
-                label = _series_label(mcs_name, receiver_name)
-                series.setdefault(label, []).append(stats[receiver_name].success_percent)
+    for point, outcome in zip(points, outcomes):
+        for receiver_name in receiver_names:
+            label = _series_label(point.mcs_name, receiver_name)
+            series.setdefault(label, []).append(outcome[receiver_name])
     return FigureResult(
         figure=figure,
         title=title,

@@ -7,6 +7,8 @@ same XOR operation, so a single function serves both directions.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["scrambler_sequence", "scramble", "descramble", "DEFAULT_SCRAMBLER_SEED"]
@@ -17,24 +19,34 @@ __all__ = ["scrambler_sequence", "scramble", "descramble", "DEFAULT_SCRAMBLER_SE
 DEFAULT_SCRAMBLER_SEED = 0b1011101
 
 
+@lru_cache(maxsize=None)
+def _scrambler_period(seed: int) -> bytes:
+    """One full 127-bit period of the LFSR output for ``seed``."""
+    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x1 ... state[6] = x7
+    out = bytearray(127)
+    for i in range(127):
+        feedback = state[6] ^ state[3]  # x7 xor x4
+        out[i] = feedback
+        state = [feedback] + state[:6]
+    return bytes(out)
+
+
 def scrambler_sequence(length: int, seed: int = DEFAULT_SCRAMBLER_SEED) -> np.ndarray:
     """Generate ``length`` bits of the 802.11 scrambling sequence.
 
     ``seed`` is the 7-bit initial LFSR state (must be non-zero).  The output
     bit at each step is ``x7 XOR x4`` of the current state, which is also fed
-    back as the new ``x1``.
+    back as the new ``x1``.  The LFSR is maximal-length, so the sequence is
+    periodic with period 127; one period per seed is generated (and cached)
+    bit by bit and tiled to the requested length.
     """
     if not 0 < seed < 128:
         raise ValueError(f"scrambler seed must be a non-zero 7-bit value, got {seed}")
     if length < 0:
         raise ValueError("length must be non-negative")
-    state = [(seed >> i) & 1 for i in range(7)]  # state[0] = x1 ... state[6] = x7
-    out = np.empty(length, dtype=np.uint8)
-    for i in range(length):
-        feedback = state[6] ^ state[3]  # x7 xor x4
-        out[i] = feedback
-        state = [feedback] + state[:6]
-    return out
+    period = np.frombuffer(_scrambler_period(seed), dtype=np.uint8)
+    repeats = -(-length // 127)
+    return np.tile(period, max(repeats, 1))[:length].copy()
 
 
 def scramble(bits: np.ndarray, seed: int = DEFAULT_SCRAMBLER_SEED) -> np.ndarray:

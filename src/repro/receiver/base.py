@@ -14,6 +14,7 @@ each packet and then batch the FEC stage across packets.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -87,6 +88,29 @@ class OfdmReceiverBase:
         constellation = rx.spec.mcs.constellation
         coded_bits = constellation.indices_to_bits(decisions.reshape(-1))
         return Demodulated(decisions=decisions, coded_bits=coded_bits, front_end=front)
+
+    def demodulate_batch(self, rxs: Sequence[ReceivedWaveform]) -> list[Demodulated]:
+        """Demodulate a batch of packets, preserving order.
+
+        The base implementation runs the shared front end over the whole
+        batch (one gathered FFT, one channel estimation) and the decision
+        stage packet by packet, so every receiver supports the batched
+        link-engine entry point; receivers with a vectorisable decision stage
+        (CPRecycle) override this to run KDE training and the ML decision
+        across the whole batch as well.  Any override must stay bit-identical
+        to the sequential loop.
+        """
+        rxs = list(rxs)
+        fronts = self.front_end.process_batch(rxs)
+        results = []
+        for rx, front in zip(rxs, fronts):
+            decisions = self.decide(front, rx)
+            constellation = rx.spec.mcs.constellation
+            coded_bits = constellation.indices_to_bits(decisions.reshape(-1))
+            results.append(
+                Demodulated(decisions=decisions, coded_bits=coded_bits, front_end=front)
+            )
+        return results
 
     def receive(self, rx: ReceivedWaveform) -> ReceiverOutput:
         """Decode one packet end to end."""

@@ -19,7 +19,9 @@ import numpy as np
 
 __all__ = [
     "estimate_channel_ls",
+    "estimate_channel_ls_batch",
     "estimate_channel_best_segment",
+    "estimate_channel_best_segment_batch",
     "smooth_channel_estimate",
 ]
 
@@ -115,6 +117,80 @@ def estimate_channel_best_segment(
     chosen = means[best, np.arange(occupied.size)]
     estimate = np.ones(fft_size, dtype=complex)
     estimate[occupied] = chosen
+    zero = np.abs(estimate) < 1e-12
+    estimate[zero] = 1e-12
+    return estimate
+
+
+def estimate_channel_ls_batch(
+    received_preamble: np.ndarray,
+    known_preamble: np.ndarray,
+    occupied_bins: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`estimate_channel_ls` over a leading packet axis.
+
+    ``received_preamble`` has shape ``(batch, n_preamble_symbols, fft_size)``;
+    the result has shape ``(batch, fft_size)``.  Row ``b`` equals
+    ``estimate_channel_ls(received_preamble[b], ...)`` exactly.
+    """
+    received_preamble = np.asarray(received_preamble, dtype=complex)
+    if received_preamble.ndim != 3:
+        raise ValueError("received_preamble must have shape (batch, Np, fft_size)")
+    known_preamble = np.atleast_2d(known_preamble)
+    batch, _, fft_size = received_preamble.shape
+    if known_preamble.shape != received_preamble.shape[1:]:
+        raise ValueError(
+            f"known preamble shape {known_preamble.shape} does not match "
+            f"{received_preamble.shape[1:]}"
+        )
+    occupied = np.asarray(occupied_bins, dtype=int)
+    reference = known_preamble[:, occupied]
+    if np.any(reference == 0):
+        raise ValueError("known preamble values on occupied bins must be non-zero")
+    estimate = np.ones((batch, fft_size), dtype=complex)
+    per_symbol = received_preamble[:, :, occupied] / reference[None, :, :]
+    estimate[:, occupied] = per_symbol.mean(axis=1)
+    zero = np.abs(estimate) < 1e-12
+    estimate[zero] = 1e-12
+    return estimate
+
+
+def estimate_channel_best_segment_batch(
+    preamble_segments: np.ndarray,
+    known_preamble: np.ndarray,
+    occupied_bins: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`estimate_channel_best_segment` over a leading packet axis.
+
+    ``preamble_segments`` has shape ``(batch, P, n_preamble_symbols,
+    fft_size)``; the result has shape ``(batch, fft_size)`` with row ``b``
+    equal to the per-packet estimator's output exactly.
+    """
+    preamble_segments = np.asarray(preamble_segments, dtype=complex)
+    if preamble_segments.ndim != 4:
+        raise ValueError("preamble_segments must have shape (batch, P, Np, fft_size)")
+    known_preamble = np.atleast_2d(known_preamble)
+    batch, _, n_preambles, fft_size = preamble_segments.shape
+    if known_preamble.shape != (n_preambles, fft_size):
+        raise ValueError(
+            f"known preamble shape {known_preamble.shape} does not match segments "
+            f"({n_preambles}, {fft_size})"
+        )
+    if n_preambles < 2:
+        return estimate_channel_ls_batch(
+            preamble_segments[:, -1], known_preamble, occupied_bins
+        )
+    occupied = np.asarray(occupied_bins, dtype=int)
+    reference = known_preamble[:, occupied]
+    if np.any(reference == 0):
+        raise ValueError("known preamble values on occupied bins must be non-zero")
+    per_symbol = preamble_segments[:, :, :, occupied] / reference[None, None, :, :]
+    means = per_symbol.mean(axis=2)                                  # (batch, P, n_occ)
+    spread = np.abs(per_symbol - means[:, :, None, :]).mean(axis=2)  # (batch, P, n_occ)
+    best = np.argmin(spread, axis=1)                                 # (batch, n_occ)
+    chosen = np.take_along_axis(means, best[:, None, :], axis=1)[:, 0, :]
+    estimate = np.ones((batch, fft_size), dtype=complex)
+    estimate[:, occupied] = chosen
     zero = np.abs(estimate) < 1e-12
     estimate[zero] = 1e-12
     return estimate

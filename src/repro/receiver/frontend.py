@@ -18,6 +18,7 @@ symbol-decision stage, exactly as in the paper.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,7 +27,12 @@ from repro.channel.scenario import ReceivedWaveform
 from repro.phy.frame import FrameSpec
 from repro.phy.ofdm import symbol_start_indices
 from repro.phy.subcarriers import OfdmAllocation
-from repro.receiver.channel_est import estimate_channel_best_segment, estimate_channel_ls
+from repro.receiver.channel_est import (
+    estimate_channel_best_segment,
+    estimate_channel_best_segment_batch,
+    estimate_channel_ls,
+    estimate_channel_ls_batch,
+)
 from repro.receiver.equalizer import apply_common_phase, equalize, estimate_common_phase
 from repro.receiver.isi_free import detect_isi_free_samples
 from repro.receiver.segments import extract_segments, reference_segment_index, segment_offsets
@@ -208,6 +214,117 @@ class FrontEnd:
             segment_offsets=offsets,
             frame_start=frame_start,
         )
+
+    # ------------------------------------------------------------------ #
+    def process_batch(self, rxs: Sequence[ReceivedWaveform]) -> list[FrontEndOutput]:
+        """Run the front end over a batch of packets, preserving order.
+
+        Packets that share frame geometry (symbol counts, allocation, timing,
+        segment count and training values) are stacked and processed through
+        one segment extraction (a single gathered FFT), one batched channel
+        estimation and one broadcast equalisation; the per-packet outputs are
+        bit-identical to sequential :meth:`process` calls.  Configurations the
+        batched path does not cover (real synchronisation, pilot phase
+        tracking) fall back to the sequential loop.
+        """
+        rxs = list(rxs)
+        if len(rxs) <= 1 or not self.use_genie_sync or self.pilot_phase_tracking:
+            return [self.process(rx) for rx in rxs]
+
+        groups: dict[tuple, list[int]] = {}
+        group_keys: list[tuple | None] = []
+        for index, rx in enumerate(rxs):
+            spec = rx.spec
+            data_start = rx.frame_start + spec.data_start
+            n_segments = self._segment_count(rx, rx.composite, data_start)
+            key = (
+                spec.n_data_symbols,
+                spec.n_preamble_symbols,
+                spec.preamble_start,
+                spec.data_start,
+                rx.allocation.fft_size,
+                rx.allocation.cp_length,
+                rx.frame_start,
+                n_segments,
+                rx.composite.size,
+            )
+            group_keys.append(key)
+            groups.setdefault(key, []).append(index)
+
+        results: list[FrontEndOutput | None] = [None] * len(rxs)
+        for indices in groups.values():
+            head = rxs[indices[0]]
+            spec = head.spec
+            allocation = spec.allocation
+            # Training values must also agree for one shared channel
+            # estimation; fall back for any packet whose preamble differs.
+            same = [
+                i
+                for i in indices
+                if np.array_equal(rxs[i].spec.preamble_frequency, spec.preamble_frequency)
+            ]
+            for i in set(indices) - set(same):
+                results[i] = self.process(rxs[i])
+            if not same:
+                continue
+            if len(same) == 1:
+                results[same[0]] = self.process(rxs[same[0]])
+                continue
+
+            frame_start = head.frame_start
+            preamble_start = frame_start + spec.preamble_start
+            data_start = frame_start + spec.data_start
+            n_segments = group_keys[same[0]][-2]  # second-to-last key field
+            offsets = segment_offsets(allocation.cp_length, n_segments)
+            buffers = np.stack([rxs[i].composite for i in same])
+
+            n_preamble = spec.n_preamble_symbols
+            if data_start == preamble_start + n_preamble * allocation.symbol_length:
+                # Data symbols follow the training symbols back to back: one
+                # gather and one FFT cover the whole frame, then split.
+                combined = extract_segments(
+                    buffers,
+                    allocation,
+                    n_preamble + spec.n_data_symbols,
+                    preamble_start,
+                    offsets=offsets,
+                )
+                preamble_segments = combined[:, :, :n_preamble]
+                data_segments = combined[:, :, n_preamble:]
+            else:
+                preamble_segments = extract_segments(
+                    buffers, allocation, n_preamble, preamble_start, offsets=offsets
+                )
+                data_segments = extract_segments(
+                    buffers, allocation, spec.n_data_symbols, data_start, offsets=offsets
+                )
+
+            if (
+                self.channel_estimator == "best-segment"
+                and n_segments > 1
+                and spec.n_preamble_symbols > 1
+            ):
+                channel = estimate_channel_best_segment_batch(
+                    preamble_segments, spec.preamble_frequency, allocation.occupied_bin_array()
+                )
+            else:
+                reference = preamble_segments[:, reference_segment_index(n_segments)]
+                channel = estimate_channel_ls_batch(
+                    reference, spec.preamble_frequency, allocation.occupied_bin_array()
+                )
+
+            preamble_eq = preamble_segments / channel[:, None, None, :]
+            data_eq = data_segments / channel[:, None, None, :]
+            for position, i in enumerate(same):
+                results[i] = FrontEndOutput(
+                    spec=rxs[i].spec,
+                    preamble=preamble_eq[position],
+                    data=data_eq[position],
+                    channel_estimate=channel[position],
+                    segment_offsets=offsets,
+                    frame_start=frame_start,
+                )
+        return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     def _frame_start(self, rx: ReceivedWaveform) -> int:

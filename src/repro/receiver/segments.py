@@ -73,7 +73,9 @@ def extract_segments(
     Parameters
     ----------
     samples:
-        Received sample buffer.
+        Received sample buffer — one packet's samples of shape ``(n,)``, or a
+        stacked batch of equal-length buffers of shape ``(batch, n)`` (all
+        packets must share the same frame timing).
     n_symbols:
         Number of consecutive OFDM symbols to demodulate.
     start:
@@ -87,9 +89,12 @@ def extract_segments(
     Returns
     -------
     numpy.ndarray
-        Complex array of shape ``(n_segments, n_symbols, fft_size)``.
+        Complex array of shape ``(n_segments, n_symbols, fft_size)``, with a
+        leading batch axis when ``samples`` is two-dimensional.
     """
     samples = np.asarray(samples)
+    if samples.ndim not in (1, 2):
+        raise ValueError("samples must have shape (n,) or (batch, n)")
     if offsets is None:
         if n_segments is None:
             raise ValueError("provide either offsets or n_segments")
@@ -103,18 +108,23 @@ def extract_segments(
             f"[{offsets.min()}, {offsets.max()}]"
         )
 
+    buffer_length = samples.shape[-1]
     symbol_starts = start + np.arange(n_symbols) * allocation.symbol_length
     window_starts = symbol_starts[None, :] + offsets[:, None]  # (segments, symbols)
     last_needed = int(window_starts.max()) + allocation.fft_size
-    if int(window_starts.min()) < 0 or last_needed > samples.size:
+    if int(window_starts.min()) < 0 or last_needed > buffer_length:
         raise ValueError(
-            f"sample buffer of length {samples.size} cannot hold {n_symbols} symbols "
+            f"sample buffer of length {buffer_length} cannot hold {n_symbols} symbols "
             f"starting at {start}"
         )
     indices = window_starts[..., None] + np.arange(allocation.fft_size)
-    windows = samples[indices]  # (segments, symbols, fft_size)
+    windows = samples[..., indices]  # ([batch,] segments, symbols, fft_size)
     spectra = np.fft.fft(windows, axis=-1) / np.sqrt(allocation.fft_size)
     if correct_phase:
-        ramps = np.stack([segment_phase_ramp(allocation, int(o)) for o in offsets])
+        # All ramps in one vectorised pass: exp(2i pi f d_j / F) per offset j,
+        # with the same per-element operation order as segment_phase_ramp.
+        delays = allocation.cp_length - offsets
+        bins = np.arange(allocation.fft_size)
+        ramps = np.exp((2j * np.pi * bins)[None, :] * delays[:, None] / allocation.fft_size)
         spectra = spectra * ramps[:, None, :]
     return spectra
