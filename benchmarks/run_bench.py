@@ -17,6 +17,11 @@ Both engines consume identical per-packet RNG streams; the harness asserts
 that they produce identical packet outcomes before reporting a speedup, so a
 benchmark result is also an end-to-end equivalence check.
 
+The ``fig13`` profile is different in kind: it times the Monte-Carlo network
+sweep through the shared sweep-execution layer serial (``reference``) versus
+on a process pool (``fast``) and asserts identical neighbour counts, so the
+newly parallelised experiments are part of the same perf trajectory.
+
 For every profile a ``BENCH_<profile>.json`` file is written containing the
 wall time per engine, decoded-packets/second, the fast/reference speedup and
 the environment.  Committed baselines live next to this script; regenerate
@@ -142,6 +147,20 @@ PROFILES: dict[str, BenchProfile] = {
         sir_db=-14.0,
         receiver_names=("standard", "cprecycle"),
     ),
+    # Fig. 10's guard-band scenario: the newly parallelised (SIR x guard)
+    # grid, pinned at one decoder-heavy cell (32-subcarrier guard, -20 dB).
+    "fig10": BenchProfile(
+        name="fig10",
+        description=(
+            "Fig. 10 scenario: single adjacent-channel interferer behind a "
+            "32-subcarrier guard band; 16-QAM 1/2 at SIR -20 dB, full "
+            "ISI-free segment set, CPRecycle decoding"
+        ),
+        scenario_kind="aci",
+        scenario_kwargs=dict(guard_subcarriers=32, two_sided=False),
+        mcs_name="16qam-1/2",
+        sir_db=-20.0,
+    ),
     # Fig. 11's co-channel scenario on the 802.11g allocation.
     "fig11": BenchProfile(
         name="fig11",
@@ -153,6 +172,40 @@ PROFILES: dict[str, BenchProfile] = {
         scenario_kwargs=dict(),
         mcs_name="16qam-1/2",
         sir_db=15.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class NetworkBenchProfile:
+    """One timed Monte-Carlo sweep workload (no link engine involved).
+
+    Times the same realization set through the shared sweep-execution layer
+    twice — serial (reported as ``reference``) and on a process pool
+    (reported as ``fast``) — and asserts identical neighbour counts, so the
+    record doubles as a serial-vs-parallel equivalence check.  ``n_packets``
+    in the emitted record carries the realization count.
+    """
+
+    name: str
+    description: str
+    n_realizations: int = 48
+    n_workers: int = 2
+    n_floors: int = 10
+    aps_per_floor: int = 50
+    seed: int = 2016
+
+
+NETWORK_PROFILES: dict[str, NetworkBenchProfile] = {
+    "fig13": NetworkBenchProfile(
+        name="fig13",
+        description=(
+            "Fig. 13 workload: Monte-Carlo office-building realizations "
+            "scaled to a campus deployment (10 floors x 50 APs = 500 APs "
+            "each) fanned out through the sweep layer; 'reference' is serial "
+            "execution, 'fast' is a 2-worker process pool; n_packets carries "
+            "the realization count"
+        ),
     ),
 }
 
@@ -242,6 +295,76 @@ def run_profile(profile: BenchProfile, n_packets: int | None = None, reps: int =
     return record
 
 
+def run_network_profile(
+    profile: NetworkBenchProfile, n_realizations: int | None = None, reps: int = 3
+) -> dict:
+    """Time the Fig. 13 Monte-Carlo sweep serial vs pooled; return the record.
+
+    ``n_realizations`` overrides the profile's realization count (the
+    ``--packets`` flag maps here, realizations being this workload's unit).
+    """
+    from repro.experiments import fig13_network
+    from repro.experiments.config import QUICK_PROFILE
+    from repro.network.building import OfficeBuilding
+
+    realizations = profile.n_realizations if n_realizations is None else n_realizations
+    exp_profile = QUICK_PROFILE.scaled(seed=profile.seed)
+    building = OfficeBuilding(n_floors=profile.n_floors, aps_per_floor=profile.aps_per_floor)
+    modes = (("reference", 1), ("fast", profile.n_workers))
+    # Warm process-wide caches (numpy dispatch, path-loss tables) with a
+    # two-realization pass per mode.  Each timed run_analyses call still
+    # builds its own process pool, so worker spawn cost is deliberately part
+    # of the pooled timing — that is the cost the sweep layer actually pays.
+    for _, workers in modes:
+        fig13_network.run_analyses(
+            exp_profile, building=building, n_realizations=2, n_workers=workers
+        )
+    times: dict[str, list[float]] = {mode: [] for mode, _ in modes}
+    counts: dict[str, dict] = {}
+    for _ in range(reps):
+        for mode, workers in modes:
+            start = time.perf_counter()
+            analyses = fig13_network.run_analyses(
+                exp_profile,
+                building=building,
+                n_realizations=realizations,
+                n_workers=workers,
+            )
+            times[mode].append(time.perf_counter() - start)
+            counts[mode] = {
+                name: analysis.counts.tolist() for name, analysis in analyses.items()
+            }
+    results = {}
+    for mode, _ in modes:
+        seconds = min(times[mode])
+        results[mode] = {
+            "seconds": round(seconds, 4),
+            "realizations_per_second": round(realizations / seconds, 2),
+        }
+    identical = counts["fast"] == counts["reference"]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile.name,
+        "description": profile.description,
+        "n_packets": realizations,
+        "payload_length": 0,
+        "receivers": ["standard", "cprecycle"],
+        "seed": profile.seed,
+        "reps": reps,
+        "n_workers": profile.n_workers,
+        "fast": results["fast"],
+        "reference": results["reference"],
+        "speedup": round(results["reference"]["seconds"] / results["fast"]["seconds"], 2),
+        "identical_decisions": identical,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+
+
 def check_file(path: Path) -> list[str]:
     """Validate one BENCH_*.json; returns a list of problems (empty = ok)."""
     problems: list[str] = []
@@ -274,10 +397,15 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         default=None,
         metavar="NAME",
-        help=f"profiles to run (default: all). Choices: {', '.join(PROFILES)}",
+        help="profiles to run (default: all). Choices: "
+        f"{', '.join([*PROFILES, *NETWORK_PROFILES])}",
     )
     parser.add_argument(
-        "--packets", type=int, default=None, help="override the per-profile packet count"
+        "--packets",
+        type=int,
+        default=None,
+        help="override the per-profile packet count (for the fig13 network profile: "
+        "the realization count)",
     )
     parser.add_argument("--reps", type=int, default=3, help="timing repetitions (min is kept)")
     parser.add_argument(
@@ -303,21 +431,30 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{len(args.check)} benchmark file(s) well-formed")
         return 1 if problems else 0
 
-    names = args.profiles if args.profiles else list(PROFILES)
-    unknown = [name for name in names if name not in PROFILES]
+    names = args.profiles if args.profiles else [*PROFILES, *NETWORK_PROFILES]
+    valid = set(PROFILES) | set(NETWORK_PROFILES)
+    unknown = [name for name in names if name not in valid]
     if unknown:
-        parser.error(f"unknown profiles {unknown}; valid: {sorted(PROFILES)}")
+        parser.error(f"unknown profiles {unknown}; valid: {sorted(valid)}")
     args.output_dir.mkdir(parents=True, exist_ok=True)
 
     failures = 0
     for name in names:
-        record = run_profile(PROFILES[name], n_packets=args.packets, reps=args.reps)
+        if name in PROFILES:
+            record = run_profile(PROFILES[name], n_packets=args.packets, reps=args.reps)
+            rate = f"{record['fast']['decoded_packets_per_second']:.1f} pkt/s"
+            disagree = "  !! ENGINES DISAGREE"
+        else:
+            record = run_network_profile(
+                NETWORK_PROFILES[name], n_realizations=args.packets, reps=args.reps
+            )
+            rate = f"{record['fast']['realizations_per_second']:.1f} realizations/s"
+            disagree = "  !! SERIAL AND POOLED SWEEPS DISAGREE"
         out_path = args.output_dir / f"BENCH_{name}.json"
         out_path.write_text(json.dumps(record, indent=2) + "\n")
-        flag = "" if record["identical_decisions"] else "  !! ENGINES DISAGREE"
+        flag = "" if record["identical_decisions"] else disagree
         print(
-            f"{name}: fast {record['fast']['seconds']:.3f}s "
-            f"({record['fast']['decoded_packets_per_second']:.1f} pkt/s) "
+            f"{name}: fast {record['fast']['seconds']:.3f}s ({rate}) "
             f"vs reference {record['reference']['seconds']:.3f}s "
             f"-> {record['speedup']:.2f}x speedup{flag}  [{out_path}]"
         )

@@ -18,7 +18,8 @@ from repro.experiments.link import (
     symbol_error_rate,
 )
 from repro.experiments.parallel import parallel_map, resolve_workers
-from repro.experiments.results import FigureResult, format_table
+from repro.experiments.results import FigureResult, format_csv, format_table
+from repro.experiments.store import PointCache, ResultStore
 
 __all__ = [
     "ExperimentProfile",
@@ -31,8 +32,11 @@ __all__ = [
     "aci_scenario",
     "build_receivers",
     "cci_scenario",
+    "PointCache",
+    "ResultStore",
     "default_engine",
     "default_profile",
+    "format_csv",
     "format_table",
     "packet_success_rate",
     "parallel_map",

@@ -15,11 +15,14 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.core.oracle import interference_power_per_segment
 from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import execute_points
 from repro.receiver.frontend import FrontEnd
 from repro.utils.dsp import linear_to_db
 from repro.utils.rng import child_rng
@@ -70,29 +73,63 @@ def run_subcarrier_profile(
     )
 
 
+@dataclass(frozen=True)
+class _SegmentProfileTask:
+    """One SIR point of the Fig. 4b segment-profile analysis (picklable)."""
+
+    sir_db: float
+    payload_length: int
+    seed: int
+    subcarrier_offset_from_edge: int
+
+
+def _segment_profile_point(task: _SegmentProfileTask) -> list[float]:
+    """Per-segment normalised interference power (dB) for one SIR value.
+
+    Module-level so it pickles into pool workers; all randomness derives from
+    ``task.seed``.
+    """
+    scenario = aci_scenario(
+        "qpsk-1/2", sir_db=task.sir_db, payload_length=task.payload_length, edge_window_length=0
+    )
+    rx = scenario.realize(child_rng(task.seed, 4, 2))
+    front = _analysis_front_end().process(rx)
+    power = interference_power_per_segment(rx, front)
+    # Pick a data subcarrier close to the interferer band edge (paper: 63).
+    occupied = rx.allocation.occupied_bin_array()
+    target_bin = int(occupied.max()) - task.subcarrier_offset_from_edge
+    per_segment = power[:, :, target_bin].mean(axis=1)
+    normalised = per_segment / per_segment.max()
+    return [float(value) for value in linear_to_db(normalised)]
+
+
 def run_segment_profile(
     profile: ExperimentProfile | None = None,
     sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
     subcarrier_offset_from_edge: int = 4,
     seed: int | None = None,
+    n_workers: int | None = None,
 ) -> FigureResult:
-    """Figure 4b: interference power per FFT segment on an edge subcarrier."""
+    """Figure 4b: interference power per FFT segment on an edge subcarrier.
+
+    Each SIR value is one task on the shared sweep-execution layer, so
+    ``--workers`` and the persistent point cache apply.
+    """
     profile = profile or default_profile()
-    series: dict[str, list[float]] = {}
     x_values = list(range(1, N_SEGMENTS + 1))
-    for sir_db in sir_values_db:
-        scenario = aci_scenario(
-            "qpsk-1/2", sir_db=sir_db, payload_length=profile.payload_length, edge_window_length=0
+    tasks = [
+        _SegmentProfileTask(
+            sir_db=sir_db,
+            payload_length=profile.payload_length,
+            seed=profile.seed if seed is None else seed,
+            subcarrier_offset_from_edge=subcarrier_offset_from_edge,
         )
-        rx = scenario.realize(child_rng(profile.seed if seed is None else seed, 4, 2))
-        front = _analysis_front_end().process(rx)
-        power = interference_power_per_segment(rx, front)
-        # Pick a data subcarrier close to the interferer band edge (paper: 63).
-        occupied = rx.allocation.occupied_bin_array()
-        target_bin = int(occupied.max()) - subcarrier_offset_from_edge
-        per_segment = power[:, :, target_bin].mean(axis=1)
-        normalised = per_segment / per_segment.max()
-        series[f"SIR {sir_db:g} dB"] = list(linear_to_db(normalised))
+        for sir_db in sir_values_db
+    ]
+    outcomes = execute_points(_segment_profile_point, tasks, n_workers=n_workers)
+    series = {
+        f"SIR {task.sir_db:g} dB": list(outcome) for task, outcome in zip(tasks, outcomes)
+    }
     return FigureResult(
         figure="Figure 4b",
         title="Interference power across FFT segments (subcarrier near the interferer edge)",
@@ -137,9 +174,11 @@ def run_constellation(
     )
 
 
-def run(profile: ExperimentProfile | None = None) -> FigureResult:
+def run(
+    profile: ExperimentProfile | None = None, n_workers: int | None = None
+) -> FigureResult:
     """Representative result for Figure 4 (the segment profile, Fig. 4b)."""
-    return run_segment_profile(profile)
+    return run_segment_profile(profile, n_workers=n_workers)
 
 
 def main() -> None:

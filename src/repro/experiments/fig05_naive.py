@@ -5,13 +5,18 @@ Packet success rate versus guard band for the standard receiver, the Oracle
 with a single adjacent-channel interferer, QPSK 3/4, at SIR -10/-20/-30 dB.
 The paper's point: at -10 dB the naive decoder matches the Oracle, but at
 -20/-30 dB it collapses because outlier segments destroy the arithmetic mean.
+
+Each guard-band value is one sweep point on the shared execution layer, so
+``--workers``/``--engine`` and the persistent point cache apply.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentProfile, aci_scenario, build_receivers, default_profile
-from repro.experiments.link import packet_success_rate
+from functools import partial
+
+from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
 from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
 
 __all__ = ["run", "run_all", "main", "GUARD_BAND_SUBCARRIERS"]
@@ -28,24 +33,38 @@ def run(
     profile: ExperimentProfile | None = None,
     sir_db: float = -20.0,
     guard_band_subcarriers: tuple[int, ...] = GUARD_BAND_SUBCARRIERS,
+    n_workers: int | None = None,
+    engine: str | None = None,
 ) -> FigureResult:
     """One panel of Figure 5 (a single SIR value)."""
     profile = profile or default_profile()
-    series: dict[str, list[float]] = {name: [] for name in RECEIVER_NAMES}
-    guard_mhz = []
-    for guard in guard_band_subcarriers:
-        scenario = aci_scenario(
-            MCS_NAME,
+    points = [
+        SweepPoint(
+            scenario_factory=partial(
+                aci_scenario,
+                payload_length=profile.payload_length,
+                guard_subcarriers=guard,
+                edge_window_length=0,
+            ),
+            mcs_name=MCS_NAME,
             sir_db=sir_db,
-            payload_length=profile.payload_length,
-            guard_subcarriers=guard,
-            edge_window_length=0,
+            receiver_names=RECEIVER_NAMES,
+            n_packets=profile.n_packets,
+            seed=profile.seed,
+            engine=engine,
+            n_segments=N_SEGMENTS,
         )
-        receivers = build_receivers(scenario.allocation, RECEIVER_NAMES, n_segments=N_SEGMENTS)
-        stats = packet_success_rate(scenario, receivers, profile.n_packets, seed=profile.seed)
+        for guard in guard_band_subcarriers
+    ]
+    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
+
+    series: dict[str, list[float]] = {name: [] for name in RECEIVER_NAMES}
+    for outcome in outcomes:
         for name in RECEIVER_NAMES:
-            series[name].append(stats[name].success_percent)
-        guard_mhz.append(round(guard * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3))
+            series[name].append(outcome[name])
+    guard_mhz = [
+        round(guard * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3) for guard in guard_band_subcarriers
+    ]
     return FigureResult(
         figure="Figure 5",
         title=f"Packet success rate vs guard band (naive decoder), SIR {sir_db:g} dB, {MCS_NAME}",

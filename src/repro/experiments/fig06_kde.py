@@ -7,9 +7,15 @@
     CDF predicted by the preamble-trained kernel density model, for ACI at
     SIR -10/-20/-30 dB — showing that the model trained on the preamble
     transfers to the data symbols.
+
+Each SIR value of panel (b) is an independent analysis task dispatched
+through the shared sweep-execution layer, so ``--workers`` and the persistent
+point cache apply.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.stats import norm
@@ -18,6 +24,7 @@ from repro.core.config import CPRecycleConfig
 from repro.core.interference_model import InterferenceModel
 from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import execute_points
 from repro.receiver.frontend import FrontEnd
 from repro.utils.rng import child_rng
 
@@ -45,10 +52,54 @@ def run_bandwidth_illustration(
     )
 
 
+@dataclass(frozen=True)
+class _DeviationTask:
+    """One SIR point of the deviation-CDF analysis (picklable sweep task)."""
+
+    sir_db: float
+    payload_length: int
+    seed: int
+    quantiles: tuple[float, ...]
+
+
+def _deviation_point(task: _DeviationTask) -> dict[str, list[float]]:
+    """Measured and model-predicted deviation amplitudes (dB) at the CDF levels.
+
+    Module-level so it pickles into pool workers; all randomness derives from
+    ``task.seed``.
+    """
+    config = CPRecycleConfig(model_scope="pooled", max_segments=16)
+    scenario = aci_scenario(
+        "qpsk-1/2", sir_db=task.sir_db, payload_length=task.payload_length, edge_window_length=0
+    )
+    rx = scenario.realize(child_rng(task.seed, 6, int(abs(task.sir_db))))
+    front = FrontEnd(n_segments=16).process(rx)
+    model = InterferenceModel.from_front_end(front, config)
+
+    observations = front.data_observations()
+    deviations = observations - rx.tx_frame.data_points[None, :, :]
+    sample_amplitudes = np.abs(deviations).reshape(-1)
+
+    # Model CDF of the amplitude marginal: mixture of Gaussian kernel CDFs.
+    train_amplitudes = np.abs(model.deviations.reshape(model.n_subcarriers, -1))
+    bandwidths = model.kde.bandwidth_amplitude.reshape(model.n_subcarriers, -1).mean(axis=1)
+    grid = np.linspace(0.0, float(sample_amplitudes.max()) * 1.2 + 1e-6, 512)
+    cdf = norm.cdf((grid[:, None, None] - train_amplitudes[None]) / bandwidths[None, :, None])
+    model_cdf = cdf.mean(axis=(1, 2))
+
+    measured = [float(np.quantile(sample_amplitudes, q)) for q in task.quantiles]
+    predicted = [float(np.interp(q, model_cdf, grid)) for q in task.quantiles]
+    return {
+        "samples": [20.0 * float(np.log10(max(v, 1e-6))) for v in measured],
+        "model": [20.0 * float(np.log10(max(v, 1e-6))) for v in predicted],
+    }
+
+
 def run_deviation_cdf(
     profile: ExperimentProfile | None = None,
     sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
     quantiles: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Figure 6b: data-symbol deviation amplitudes vs the preamble-trained model.
 
@@ -58,31 +109,20 @@ def run_deviation_cdf(
     only on the preamble.
     """
     profile = profile or default_profile()
-    config = CPRecycleConfig(model_scope="pooled", max_segments=16)
-    series: dict[str, list[float]] = {}
-    for sir_db in sir_values_db:
-        scenario = aci_scenario(
-            "qpsk-1/2", sir_db=sir_db, payload_length=profile.payload_length, edge_window_length=0
+    tasks = [
+        _DeviationTask(
+            sir_db=sir_db,
+            payload_length=profile.payload_length,
+            seed=profile.seed,
+            quantiles=quantiles,
         )
-        rx = scenario.realize(child_rng(profile.seed, 6, int(abs(sir_db))))
-        front = FrontEnd(n_segments=16).process(rx)
-        model = InterferenceModel.from_front_end(front, config)
-
-        observations = front.data_observations()
-        deviations = observations - rx.tx_frame.data_points[None, :, :]
-        sample_amplitudes = np.abs(deviations).reshape(-1)
-
-        # Model CDF of the amplitude marginal: mixture of Gaussian kernel CDFs.
-        train_amplitudes = np.abs(model.deviations.reshape(model.n_subcarriers, -1))
-        bandwidths = model.kde.bandwidth_amplitude.reshape(model.n_subcarriers, -1).mean(axis=1)
-        grid = np.linspace(0.0, float(sample_amplitudes.max()) * 1.2 + 1e-6, 512)
-        cdf = norm.cdf((grid[:, None, None] - train_amplitudes[None]) / bandwidths[None, :, None])
-        model_cdf = cdf.mean(axis=(1, 2))
-
-        measured = [float(np.quantile(sample_amplitudes, q)) for q in quantiles]
-        predicted = [float(np.interp(q, model_cdf, grid)) for q in quantiles]
-        series[f"Samples SIR {sir_db:g} dB"] = [20.0 * np.log10(max(v, 1e-6)) for v in measured]
-        series[f"Model SIR {sir_db:g} dB"] = [20.0 * np.log10(max(v, 1e-6)) for v in predicted]
+        for sir_db in sir_values_db
+    ]
+    outcomes = execute_points(_deviation_point, tasks, n_workers=n_workers)
+    series: dict[str, list[float]] = {}
+    for task, outcome in zip(tasks, outcomes):
+        series[f"Samples SIR {task.sir_db:g} dB"] = list(outcome["samples"])
+        series[f"Model SIR {task.sir_db:g} dB"] = list(outcome["model"])
     return FigureResult(
         figure="Figure 6b",
         title="Amplitude-deviation CDF: data-symbol samples vs preamble-trained KDE",
@@ -93,9 +133,11 @@ def run_deviation_cdf(
     )
 
 
-def run(profile: ExperimentProfile | None = None) -> FigureResult:
+def run(
+    profile: ExperimentProfile | None = None, n_workers: int | None = None
+) -> FigureResult:
     """Representative result for Figure 6 (the deviation CDF, Fig. 6b)."""
-    return run_deviation_cdf(profile)
+    return run_deviation_cdf(profile, n_workers=n_workers)
 
 
 def main() -> None:

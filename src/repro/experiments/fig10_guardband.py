@@ -4,13 +4,19 @@ Packet success rate versus guard-band width for 16-QAM at SIR -10/-20/-30 dB,
 with and without CPRecycle.  The paper's spectrum-efficiency argument: with
 CPRecycle a cognitive user can be packed much closer to a strong incumbent
 for the same packet success rate.
+
+The (SIR x guard-band) grid runs as independent sweep points through the
+shared execution layer, so ``--workers``/``--engine`` and the persistent
+point cache apply exactly as in the SIR-sweep figures.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentProfile, aci_scenario, build_receivers, default_profile
-from repro.experiments.link import packet_success_rate
+from functools import partial
+
+from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
 from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
 
 __all__ = ["run", "main", "GUARD_BAND_SUBCARRIERS"]
@@ -26,28 +32,42 @@ def run(
     profile: ExperimentProfile | None = None,
     sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
     guard_band_subcarriers: tuple[int, ...] = GUARD_BAND_SUBCARRIERS,
+    n_workers: int | None = None,
+    engine: str | None = None,
 ) -> FigureResult:
     """Packet success rate vs guard band, with and without CPRecycle."""
     profile = profile or default_profile()
-    series: dict[str, list[float]] = {}
     guard_mhz = [round(g * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3) for g in guard_band_subcarriers]
-    for sir_db in sir_values_db:
-        for guard in guard_band_subcarriers:
-            scenario = aci_scenario(
-                MCS_NAME,
-                sir_db=sir_db,
+    points = [
+        SweepPoint(
+            # partial of a module-level function: picklable, so grid cells
+            # can run on pool workers.
+            scenario_factory=partial(
+                aci_scenario,
                 payload_length=profile.payload_length,
                 guard_subcarriers=guard,
                 two_sided=False,
+            ),
+            mcs_name=MCS_NAME,
+            sir_db=sir_db,
+            receiver_names=RECEIVER_NAMES,
+            n_packets=profile.n_packets,
+            seed=profile.seed,
+            engine=engine,
+        )
+        for sir_db in sir_values_db
+        for guard in guard_band_subcarriers
+    ]
+    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
+
+    series: dict[str, list[float]] = {}
+    for point, outcome in zip(points, outcomes):
+        for name in RECEIVER_NAMES:
+            label = (
+                f"SIR {point.sir_db:g} dB, "
+                + ("With CPRecycle" if name == "cprecycle" else "Without CPRecycle")
             )
-            receivers = build_receivers(scenario.allocation, RECEIVER_NAMES)
-            stats = packet_success_rate(scenario, receivers, profile.n_packets, seed=profile.seed)
-            for name in RECEIVER_NAMES:
-                label = (
-                    f"SIR {sir_db:g} dB, "
-                    + ("With CPRecycle" if name == "cprecycle" else "Without CPRecycle")
-                )
-                series.setdefault(label, []).append(stats[name].success_percent)
+            series.setdefault(label, []).append(outcome[name])
     return FigureResult(
         figure="Figure 10",
         title=f"PSR vs guard band with an adjacent legacy transmitter ({MCS_NAME})",

@@ -7,22 +7,80 @@ interference (Fig. 11), the effective threshold rises by that amount and the
 CDF of neighbour counts shifts sharply left.  We reproduce the analysis on a
 synthetic deployment with the same size and an indoor path-loss model (see
 DESIGN.md for the substitution).
+
+Each Monte-Carlo building realization is one task on the shared
+sweep-execution layer, so ``--workers`` fans the realizations across the
+process pool and the persistent point cache applies.  Placement jitter and
+shadowing consume independent child RNG streams per realization (as
+:mod:`repro.utils.rng` intends) — an earlier revision passed the same integer
+seed to both, which made the two draws identical.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.experiments.config import ExperimentProfile, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import execute_points
 from repro.network.building import OfficeBuilding
 from repro.network.neighbors import DEFAULT_THRESHOLD_DBM, NeighborAnalysis, count_interfering_neighbors
+from repro.utils.rng import child_rng
 
-__all__ = ["run", "run_analyses", "main", "CPRECYCLE_TOLERANCE_GAIN_DB"]
+__all__ = [
+    "run",
+    "run_analyses",
+    "realization_rngs",
+    "main",
+    "CPRECYCLE_TOLERANCE_GAIN_DB",
+]
 
 #: Additional co-channel interference (dB) CPRecycle tolerates without extra
 #: packet loss — the paper derives 15 dB from Fig. 11.
 CPRECYCLE_TOLERANCE_GAIN_DB = 15.0
+
+
+def realization_rngs(
+    seed: int, realization: int
+) -> tuple[np.random.Generator, np.random.Generator]:
+    """Independent (placement-jitter, shadowing) generators for one realization."""
+    return (
+        child_rng(seed + realization, 13, 0),
+        child_rng(seed + realization, 13, 1),
+    )
+
+
+@dataclass(frozen=True)
+class _RealizationTask:
+    """One Monte-Carlo deployment realization (picklable sweep task)."""
+
+    building: OfficeBuilding
+    seed: int
+    realization: int
+    threshold_dbm: float
+    tolerance_gain_db: float
+
+
+def _count_realization(task: _RealizationTask) -> dict[str, list[int]]:
+    """Interfering-neighbour counts of one realization, per receiver.
+
+    Module-level so it pickles into pool workers; placement and shadowing
+    derive from independent child streams of the realization's seed.
+    """
+    deploy_rng, shadowing_rng = realization_rngs(task.seed, task.realization)
+    access_points = task.building.deploy(deploy_rng)
+    rss = task.building.pairwise_rss_dbm(access_points, shadowing_rng)
+    return {
+        "standard": [int(c) for c in count_interfering_neighbors(rss, task.threshold_dbm)],
+        "cprecycle": [
+            int(c)
+            for c in count_interfering_neighbors(
+                rss, task.threshold_dbm + task.tolerance_gain_db
+            )
+        ],
+    }
 
 
 def run_analyses(
@@ -31,20 +89,24 @@ def run_analyses(
     threshold_dbm: float = DEFAULT_THRESHOLD_DBM,
     tolerance_gain_db: float = CPRECYCLE_TOLERANCE_GAIN_DB,
     n_realizations: int = 10,
+    n_workers: int | None = None,
 ) -> dict[str, NeighborAnalysis]:
     """Neighbour-count analysis for the standard and CPRecycle receivers."""
     profile = profile or default_profile()
     building = building or OfficeBuilding()
-    standard_counts: list[np.ndarray] = []
-    cprecycle_counts: list[np.ndarray] = []
-    for realization in range(n_realizations):
-        seed = profile.seed + realization
-        access_points = building.deploy(seed)
-        rss = building.pairwise_rss_dbm(access_points, seed)
-        standard_counts.append(count_interfering_neighbors(rss, threshold_dbm))
-        cprecycle_counts.append(
-            count_interfering_neighbors(rss, threshold_dbm + tolerance_gain_db)
+    tasks = [
+        _RealizationTask(
+            building=building,
+            seed=profile.seed,
+            realization=realization,
+            threshold_dbm=threshold_dbm,
+            tolerance_gain_db=tolerance_gain_db,
         )
+        for realization in range(n_realizations)
+    ]
+    outcomes = execute_points(_count_realization, tasks, n_workers=n_workers)
+    standard_counts = [np.asarray(outcome["standard"]) for outcome in outcomes]
+    cprecycle_counts = [np.asarray(outcome["cprecycle"]) for outcome in outcomes]
     return {
         "standard": NeighborAnalysis(
             label="Standard Receiver",
@@ -59,9 +121,11 @@ def run_analyses(
     }
 
 
-def run(profile: ExperimentProfile | None = None) -> FigureResult:
+def run(
+    profile: ExperimentProfile | None = None, n_workers: int | None = None
+) -> FigureResult:
     """CDF of interfering neighbours per access point, standard vs CPRecycle."""
-    analyses = run_analyses(profile)
+    analyses = run_analyses(profile, n_workers=n_workers)
     max_count = int(max(analysis.counts.max() for analysis in analyses.values()))
     support = list(range(max_count + 1))
     series = {}

@@ -6,13 +6,20 @@ prefix, for ACI at SIR -10/-20/-30 dB with 16-QAM.  The paper's findings:
 benefits saturate once roughly 60 % of the cyclic prefix is used, and at mild
 interference 20 % is already enough — so CPRecycle degrades gracefully on
 computation-limited devices and in high-delay-spread environments.
+
+The (SIR x segment-fraction) grid runs as independent sweep points through
+the shared execution layer (``SweepPoint.n_segments`` carries the receiver's
+segment budget), so ``--workers``/``--engine`` and the persistent point cache
+apply exactly as in the SIR-sweep figures.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentProfile, aci_scenario, build_receivers, default_profile
-from repro.experiments.link import packet_success_rate
+from functools import partial
+
+from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
+from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
 
 __all__ = ["run", "main"]
 
@@ -25,25 +32,37 @@ def run(
     profile: ExperimentProfile | None = None,
     sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
     segment_fractions: tuple[float, ...] = SEGMENT_FRACTIONS,
+    n_workers: int | None = None,
+    engine: str | None = None,
 ) -> FigureResult:
     """Packet success rate vs number of FFT segments (as % of the CP)."""
     profile = profile or default_profile()
+    # The CP length depends only on the allocation geometry, not the SIR, so
+    # one probe scenario fixes the x axis for every grid cell.
+    cp_length = aci_scenario(
+        MCS_NAME, sir_db=sir_values_db[0], payload_length=profile.payload_length
+    ).allocation.cp_length
+    segment_counts = [max(1, int(round(fraction * cp_length))) for fraction in segment_fractions]
+    x_values = [round(100.0 * count / cp_length, 1) for count in segment_counts]
+    points = [
+        SweepPoint(
+            scenario_factory=partial(aci_scenario, payload_length=profile.payload_length),
+            mcs_name=MCS_NAME,
+            sir_db=sir_db,
+            receiver_names=("cprecycle",),
+            n_packets=profile.n_packets,
+            seed=profile.seed,
+            engine=engine,
+            n_segments=n_segments,
+        )
+        for sir_db in sir_values_db
+        for n_segments in segment_counts
+    ]
+    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
+
     series: dict[str, list[float]] = {}
-    x_values: list[float] = []
-    for sir_db in sir_values_db:
-        scenario = aci_scenario(MCS_NAME, sir_db=sir_db, payload_length=profile.payload_length)
-        cp_length = scenario.allocation.cp_length
-        x_values = []
-        for fraction in segment_fractions:
-            n_segments = max(1, int(round(fraction * cp_length)))
-            x_values.append(round(100.0 * n_segments / cp_length, 1))
-            receivers = build_receivers(
-                scenario.allocation, ("cprecycle",), n_segments=n_segments
-            )
-            stats = packet_success_rate(scenario, receivers, profile.n_packets, seed=profile.seed)
-            series.setdefault(f"SIR {sir_db:g} dB", []).append(
-                stats["cprecycle"].success_percent
-            )
+    for point, outcome in zip(points, outcomes):
+        series.setdefault(f"SIR {point.sir_db:g} dB", []).append(outcome["cprecycle"])
     return FigureResult(
         figure="Figure 14",
         title=f"PSR vs number of FFT segments ({MCS_NAME}, single ACI interferer)",

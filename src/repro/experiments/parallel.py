@@ -23,7 +23,7 @@ from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import TypeVar
 
-__all__ = ["resolve_workers", "parallel_map"]
+__all__ = ["resolve_workers", "parallel_map", "parallel_map_chunked"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -45,6 +45,12 @@ def resolve_workers(n_workers: int | None = None) -> int:
 
 
 def _picklable(*objects: object) -> bool:
+    """Probe whether the pool could serialise ``objects``.
+
+    Called with the task function and ONE representative task, not the full
+    task list — the pool pickles every task anyway when it dispatches, so
+    probing them all would pay the serialisation cost twice on large sweeps.
+    """
     try:
         for obj in objects:
             pickle.dumps(obj)
@@ -61,22 +67,53 @@ def parallel_map(
     """Apply ``fn`` to every item, optionally across a process pool.
 
     Results preserve the input order regardless of completion order.  With
-    one worker (or one item) the pool is bypassed; if ``fn`` or the items
-    cannot be pickled the call degrades to serial execution with a warning so
-    that closures passed by older callers keep working.
+    one worker (or one item) the pool is bypassed; if ``fn`` or the probed
+    representative item cannot be pickled the call degrades to serial
+    execution with a warning so that closures passed by older callers keep
+    working.
+    """
+    tasks: Sequence[_T] = list(items)
+    return parallel_map_chunked(fn, tasks, n_workers=n_workers, chunk_size=max(len(tasks), 1))
+
+
+def parallel_map_chunked(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+    on_chunk: Callable[[int, list[_R]], None] | None = None,
+) -> list[_R]:
+    """:func:`parallel_map` with a completion callback after every chunk.
+
+    ``on_chunk(start_index, chunk_results)`` fires as each ``chunk_size``
+    slice of the input finishes (the sweep layer flushes its point cache
+    there).  One process pool is reused across all chunks, so checkpointing
+    does not pay a worker-respawn (plus numpy re-import) per chunk.
     """
     tasks: Sequence[_T] = list(items)
     workers = resolve_workers(n_workers)
-    if workers <= 1 or len(tasks) <= 1:
-        return [fn(task) for task in tasks]
-    if not _picklable(fn, tasks):
+    chunk_size = chunk_size or max(workers, 1) * 4
+    use_pool = workers > 1 and len(tasks) > 1
+    if use_pool and not _picklable(fn, tasks[0]):
         warnings.warn(
             "parallel_map fell back to serial execution: the task function or its "
             "arguments are not picklable (pass module-level functions / "
             "functools.partial objects to run across processes)",
             RuntimeWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
-        return [fn(task) for task in tasks]
+        use_pool = False
+
+    def drain(mapper: Callable[[Sequence[_T]], list[_R]]) -> list[_R]:
+        results: list[_R] = []
+        for start in range(0, len(tasks), chunk_size):
+            chunk_results = mapper(tasks[start : start + chunk_size])
+            results.extend(chunk_results)
+            if on_chunk is not None:
+                on_chunk(start, chunk_results)
+        return results
+
+    if not use_pool:
+        return drain(lambda chunk: [fn(task) for task in chunk])
     with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+        return drain(lambda chunk: list(pool.map(fn, chunk)))

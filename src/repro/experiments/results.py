@@ -1,16 +1,27 @@
-"""Result containers and plain-text rendering for the experiment harness.
+"""Result containers, serialisation and rendering for the experiment harness.
 
 Every experiment returns a :class:`FigureResult`: the x-axis values, one named
 series per curve of the corresponding paper figure, and free-form notes.  The
-``format_table`` helper renders the same rows/series the paper plots, so the
-benchmark harness and the command-line runner can print them directly.
+container is the unit of persistence — ``to_json``/``from_json`` round-trip it
+exactly (floats use their shortest round-trip representation) under a schema
+version, and :class:`repro.experiments.store.ResultStore` wraps the payload in
+``results/<experiment>.json`` artifacts.  ``format_table`` / ``format_csv``
+render the same rows/series the paper plots for the command-line runner and
+the benchmark harness.
 """
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
+from typing import Any
 
-__all__ = ["FigureResult", "format_table"]
+__all__ = ["FigureResult", "format_table", "format_csv", "RESULT_SCHEMA_VERSION"]
+
+#: Version of the serialised :class:`FigureResult` payload.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -47,9 +58,57 @@ class FigureResult:
             rows.append(row)
         return rows
 
+    # ------------------------------------------------------------------ #
+    # Serialisation                                                      #
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable payload (schema-versioned)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "figure": self.figure,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "y_label": self.y_label,
+            "series": {name: list(values) for name, values in self.series.items()},
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to JSON text; ``from_json`` restores an equal object."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FigureResult":
+        """Rebuild a result from :meth:`to_dict` output, checking the schema."""
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or version > RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported FigureResult schema version {version!r} "
+                f"(this build reads <= {RESULT_SCHEMA_VERSION})"
+            )
+        return cls(
+            figure=payload["figure"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            x_values=list(payload["x_values"]),
+            series={name: list(values) for name, values in payload["series"].items()},
+            y_label=payload.get("y_label", "Packet Success Rate (%)"),
+            notes=list(payload.get("notes", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FigureResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
 
 def format_table(result: FigureResult, float_format: str = "{:8.2f}") -> str:
-    """Render a :class:`FigureResult` as an aligned plain-text table."""
+    """Render a :class:`FigureResult` as an aligned plain-text table.
+
+    A result with no x-values renders as a headers-only table (title, header
+    row and separator) rather than failing.
+    """
     headers = [result.x_label, *result.series_names()]
     rows = []
     for index, x in enumerate(result.x_values):
@@ -58,7 +117,10 @@ def format_table(result: FigureResult, float_format: str = "{:8.2f}") -> str:
             value = result.series[name][index]
             cells.append(float_format.format(value) if isinstance(value, (int, float)) else str(value))
         rows.append(cells)
-    widths = [max(len(headers[col]), *(len(row[col]) for row in rows)) for col in range(len(headers))]
+    widths = [
+        max([len(headers[col]), *(len(row[col]) for row in rows)])
+        for col in range(len(headers))
+    ]
     lines = [
         f"{result.figure}: {result.title}",
         f"(y: {result.y_label})",
@@ -70,3 +132,14 @@ def format_table(result: FigureResult, float_format: str = "{:8.2f}") -> str:
     for note in result.notes:
         lines.append(f"note: {note}")
     return "\n".join(lines)
+
+
+def format_csv(result: FigureResult) -> str:
+    """Render a :class:`FigureResult` as CSV (header row, one row per x value)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    headers = [result.x_label, *result.series_names()]
+    writer.writerow(headers)
+    for row in result.as_rows():
+        writer.writerow([row[header] for header in headers])
+    return buffer.getvalue()

@@ -1,5 +1,10 @@
 """Command-line entry point regenerating the paper's tables and figures.
 
+Every experiment runs through the shared sweep-execution layer
+(:mod:`repro.experiments.sweeps`), so ``--workers`` and ``--engine`` apply
+uniformly to all of them, and results can be persisted as reloadable JSON
+artifacts (:mod:`repro.experiments.store`).
+
 Usage::
 
     cprecycle-experiments                 # run everything with the quick profile
@@ -7,6 +12,12 @@ Usage::
     cprecycle-experiments --profile full  # paper-scale run (hours)
     cprecycle-experiments --workers 8     # process-pool parallel sweep points
     cprecycle-experiments --engine reference  # per-packet verification engine
+    cprecycle-experiments --out results   # write results/<figure>.json artifacts
+    cprecycle-experiments --format json   # print JSON (or csv) instead of tables
+    cprecycle-experiments --profile full --out results --resume
+                                          # resume an interrupted run: completed
+                                          # sweep points are read from the point
+                                          # cache under results/.cache/
 """
 
 from __future__ import annotations
@@ -14,6 +25,7 @@ from __future__ import annotations
 import argparse
 import os
 from collections.abc import Callable
+from pathlib import Path
 
 from repro.experiments import (
     fig04_segments,
@@ -29,7 +41,9 @@ from repro.experiments import (
     table01_cp,
 )
 from repro.experiments.config import FULL_PROFILE, QUICK_PROFILE, ExperimentProfile
-from repro.experiments.results import format_table
+from repro.experiments.link import default_engine
+from repro.experiments.results import format_csv, format_table
+from repro.experiments.store import CACHE_ENV_VAR, ResultStore
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -58,6 +72,13 @@ def run_experiment(name: str, profile: ExperimentProfile):
     if name in _NO_PROFILE_ARG:
         return runner()
     return runner(profile)
+
+
+_FORMATTERS = {
+    "table": lambda result: format_table(result),
+    "json": lambda result: result.to_json(),
+    "csv": format_csv,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -90,12 +111,36 @@ def main(argv: list[str] | None = None) -> int:
         help="link-simulation engine: 'fast' (batched, default) or 'reference' "
         "(per-packet/per-symbol verification fallback)",
     )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write one reloadable <experiment>.json artifact per experiment "
+        "into DIR (keyed by profile/engine/config hash)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="stdout rendering of each result (default: table)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="persist completed sweep points under <out>/.cache and skip them "
+        "on re-runs, so an interrupted run resumes instead of restarting "
+        "(default out dir: results/)",
+    )
     args = parser.parse_args(argv)
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+    out_dir: Path | None = args.out
+    if args.resume and out_dir is None:
+        out_dir = Path("results")
     # Thread the execution knobs through the figure modules via the
     # environment so that every nested sweep picks them up; restore the
     # previous values on exit so an in-process caller's later work is not
-    # silently switched to this invocation's engine or worker count.
+    # silently switched to this invocation's engine, worker count or cache.
     overrides: dict[str, str] = {}
     if args.workers is not None:
         if args.workers < 1:
@@ -103,13 +148,18 @@ def main(argv: list[str] | None = None) -> int:
         overrides["REPRO_WORKERS"] = str(args.workers)
     if args.engine is not None:
         overrides["REPRO_ENGINE"] = args.engine
+    if args.resume:
+        overrides[CACHE_ENV_VAR] = str(out_dir / ".cache")
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
+    store = ResultStore(out_dir) if out_dir is not None else None
     try:
         for name in args.experiments:
             result = run_experiment(name, profile)
-            print(format_table(result))
+            print(_FORMATTERS[args.format](result))
             print()
+            if store is not None:
+                store.save(name, result, profile=profile, engine=default_engine())
     finally:
         for key, value in saved.items():
             if value is None:

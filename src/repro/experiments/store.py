@@ -1,0 +1,223 @@
+"""Persistent result artifacts and point-level sweep caching.
+
+Two durable layers back the experiment harness:
+
+* :class:`ResultStore` — one ``results/<experiment>.json`` artifact per
+  figure/table, wrapping the :class:`~repro.experiments.results.FigureResult`
+  payload with a schema version and the execution key (profile, engine and a
+  content hash of the configuration) so downstream consumers can reload a
+  result without re-running the sweep and can tell which configuration
+  produced it.
+* :class:`PointCache` — a JSON file of completed sweep-point outcomes keyed
+  by a stable content hash of each point's task.  The sweep execution layer
+  (:func:`repro.experiments.sweeps.execute_points`) consults it so that a
+  re-run with the same profile skips finished points and an interrupted
+  ``--profile full`` run resumes instead of restarting.
+
+Keys come from :func:`stable_key`: a SHA-256 over a canonical, recursive
+serialisation of the task object (dataclasses, ``functools.partial`` objects
+and module-level callables are resolved to their structural content, not
+their ``id()``), so the same logical point hashes identically across
+processes and interpreter runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.results import FigureResult
+
+__all__ = ["stable_key", "config_hash", "ResultStore", "PointCache"]
+
+#: Version of the on-disk artifact/cache envelope (the FigureResult payload
+#: carries its own ``schema_version``).
+STORE_SCHEMA_VERSION = 1
+
+#: Environment variable pointing the sweep layer at a point-cache directory.
+CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
+
+
+# --------------------------------------------------------------------------- #
+# Stable content hashing                                                      #
+# --------------------------------------------------------------------------- #
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serialisable structure that is stable across
+    interpreter runs (no ``id()``-dependent or address-dependent content)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr is the shortest round-trip representation: exact and stable.
+        return ["float", repr(obj)]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_canonical(item) for item in obj]]
+    if isinstance(obj, dict):
+        return ["map", sorted((str(key), _canonical(value)) for key, value in obj.items())]
+    if isinstance(obj, functools.partial):
+        return [
+            "partial",
+            _canonical(obj.func),
+            _canonical(obj.args),
+            _canonical(obj.keywords),
+        ]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+        return ["data", type(obj).__module__, type(obj).__qualname__, _canonical(fields)]
+    if callable(obj):
+        return ["fn", getattr(obj, "__module__", ""), getattr(obj, "__qualname__", repr(obj))]
+    return ["repr", repr(obj)]
+
+
+def stable_key(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical serialisation of ``obj``."""
+    payload = json.dumps(_canonical(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def config_hash(*objects: Any) -> str:
+    """Short (12 hex digit) content hash identifying an execution config."""
+    return stable_key(list(objects))[:12]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+# --------------------------------------------------------------------------- #
+# Figure/table artifacts                                                      #
+# --------------------------------------------------------------------------- #
+class ResultStore:
+    """Directory of reloadable ``<experiment>.json`` result artifacts."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        """Artifact path of one experiment."""
+        return self.root / f"{name}.json"
+
+    def save(
+        self,
+        name: str,
+        result: FigureResult,
+        profile: Any = None,
+        engine: str | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> Path:
+        """Write the artifact for ``name`` and return its path.
+
+        ``profile`` is the :class:`ExperimentProfile` (or ``None`` for static
+        analyses); the artifact records its fields plus a content hash of
+        (experiment, profile, engine) so a reloaded artifact identifies the
+        run that produced it.
+        """
+        config = (
+            dataclasses.asdict(profile)
+            if dataclasses.is_dataclass(profile) and not isinstance(profile, type)
+            else None
+        )
+        record = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "experiment": name,
+            "profile": getattr(profile, "name", None),
+            "engine": engine,
+            "config_hash": config_hash(name, profile, engine),
+            "config": config,
+            "created_unix": round(time.time(), 3),
+            "result": result.to_dict(),
+        }
+        if extra:
+            record.update(extra)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(name)
+        _atomic_write(path, json.dumps(record, indent=2) + "\n")
+        return path
+
+    def load_record(self, name: str) -> dict[str, Any]:
+        """Reload the raw artifact record (envelope + result payload)."""
+        record = json.loads(self.path_for(name).read_text())
+        version = record.get("schema_version")
+        if not isinstance(version, int) or version > STORE_SCHEMA_VERSION:
+            raise ValueError(
+                f"artifact {name!r} has unsupported schema version {version!r} "
+                f"(this build reads <= {STORE_SCHEMA_VERSION})"
+            )
+        return record
+
+    def load(self, name: str) -> FigureResult:
+        """Reload one experiment's :class:`FigureResult`."""
+        return FigureResult.from_dict(self.load_record(name)["result"])
+
+    def names(self) -> list[str]:
+        """Experiments with an artifact in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+
+# --------------------------------------------------------------------------- #
+# Point-level sweep cache                                                     #
+# --------------------------------------------------------------------------- #
+class PointCache:
+    """JSON-file-backed map of completed sweep-point outcomes.
+
+    Outcomes must be JSON-serialisable (the sweep task functions return
+    dicts/lists of numbers, which round-trip exactly), so a cached value is
+    bit-identical to a freshly computed one.  The cache is flushed after
+    every chunk of completed points, which is what makes an interrupted run
+    resumable.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[str, Any] = {}
+        if self.path.is_file():
+            record = json.loads(self.path.read_text())
+            if record.get("schema_version") == STORE_SCHEMA_VERSION:
+                self._entries = record.get("points", {})
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        """Cached outcome for ``key`` (``None`` when absent)."""
+        return self._entries.get(key)
+
+    def update(self, outcomes: dict[str, Any]) -> None:
+        """Record completed points and flush the cache file."""
+        self._entries.update(outcomes)
+        self.flush()
+
+    def flush(self) -> None:
+        """Write the cache file atomically, merging concurrent writers' points.
+
+        Another ``--resume`` run may share this cache file (every
+        packet-success-rate figure funnels through the same task function),
+        so the file is re-read and merged under this process's entries before
+        the atomic replace — a flush never discards points another run
+        checkpointed in the meantime.  Both writers compute identical
+        outcomes for identical keys, so merge order cannot change a value.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.path.is_file():
+            try:
+                record = json.loads(self.path.read_text())
+            except (OSError, json.JSONDecodeError):
+                record = {}
+            if record.get("schema_version") == STORE_SCHEMA_VERSION:
+                merged = record.get("points", {})
+                merged.update(self._entries)
+                self._entries = merged
+        record = {"schema_version": STORE_SCHEMA_VERSION, "points": self._entries}
+        _atomic_write(self.path, json.dumps(record) + "\n")

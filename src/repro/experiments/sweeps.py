@@ -1,28 +1,45 @@
-"""Shared sweep helpers for the packet-success-rate figures.
+"""Shared sweep-execution layer for the experiment harness.
 
-Every (MCS, SIR) point of a sweep is an independent simulation with its own
-deterministic seed, so :func:`psr_vs_sir` dispatches the points through
-:func:`repro.experiments.parallel.parallel_map` — serial by default, and
-across a process pool when ``n_workers`` (or ``REPRO_WORKERS``) is greater
-than one.  Scenario factories must be picklable for the pool to engage
-(module-level functions or :func:`functools.partial` objects, as the figure
-modules provide); closures still work but force serial execution.
+Every experiment decomposes into independently-executable *sweep points*:
+(MCS, SIR) pairs for the packet-success-rate figures, (SIR, guard-band) and
+(SIR, segment-count) grid cells for Figs. 10/14, per-SIR analysis tasks for
+Figs. 4/6, Monte-Carlo building realizations for Fig. 13 and per-standard
+rows for Table 1.  :func:`execute_points` is the single execution funnel all
+of them go through:
+
+* points dispatch via :func:`repro.experiments.parallel.parallel_map` —
+  serial by default, across a process pool when ``n_workers`` (or
+  ``REPRO_WORKERS``) is greater than one;
+* when the ``REPRO_RESULT_CACHE`` environment variable names a directory,
+  completed point outcomes are persisted there (keyed by a stable content
+  hash of the task, see :mod:`repro.experiments.store`) so a re-run with the
+  same configuration skips finished points and an interrupted run resumes.
+
+Task objects must be picklable for the pool to engage (frozen dataclasses of
+primitives and :func:`functools.partial` objects over module-level functions,
+as the figure modules provide) and task functions must return
+JSON-serialisable outcomes so a cached outcome is bit-identical to a fresh
+one.  All randomness must derive from seeds carried inside the task, making
+every outcome independent of which worker (or run) executes it.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import os
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.channel.scenario import Scenario
 from repro.experiments.config import ExperimentProfile, build_receivers
-from repro.experiments.link import packet_success_rate
-from repro.experiments.parallel import parallel_map
+from repro.experiments.link import default_engine, packet_success_rate
+from repro.experiments.parallel import parallel_map, parallel_map_chunked
 from repro.experiments.results import FigureResult
+from repro.experiments.store import CACHE_ENV_VAR, PointCache, stable_key
 
-__all__ = ["psr_vs_sir", "sir_axis"]
+__all__ = ["execute_points", "psr_vs_sir", "sir_axis", "SweepPoint", "run_sweep_point"]
 
 
 def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
@@ -32,9 +49,78 @@ def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
     return [round(float(value), 2) for value in np.linspace(low_db, high_db, n_points)]
 
 
+# --------------------------------------------------------------------------- #
+# Generic point execution (pool + persistent point cache)                     #
+# --------------------------------------------------------------------------- #
+def _point_cache_for(fn: Callable) -> PointCache | None:
+    """Point cache for ``fn``'s sweep, or ``None`` when caching is off."""
+    cache_dir = os.environ.get(CACHE_ENV_VAR, "").strip()
+    if not cache_dir:
+        return None
+    label = f"{getattr(fn, '__module__', 'task')}.{getattr(fn, '__qualname__', 'fn')}"
+    return PointCache(Path(cache_dir) / (label.replace(".", "-") + ".json"))
+
+
+_NO_ENGINE = object()
+
+
+def _point_key(task) -> str:
+    """Content hash identifying one sweep point across runs.
+
+    A task whose ``engine`` field is ``None`` inherits ``REPRO_ENGINE`` at
+    execution time, so the resolved default engine is part of that point's
+    identity; tasks with an explicit engine — or none at all (analysis and
+    Monte-Carlo tasks that never touch the link engine) — hash on their
+    content alone and survive an environment-engine change.
+    """
+    if getattr(task, "engine", _NO_ENGINE) is None:
+        return stable_key((default_engine(), task))
+    return stable_key(task)
+
+
+def execute_points(fn, tasks, n_workers: int | None = None) -> list:
+    """Run every sweep task through the shared execution layer.
+
+    Outcomes preserve task order whatever the execution order was.  With a
+    cache directory configured (``REPRO_RESULT_CACHE``), previously completed
+    points are returned from the cache and newly computed ones are flushed to
+    it chunk-by-chunk (reusing one process pool across chunks), so
+    interrupting an expensive sweep loses at most one chunk of work.
+    """
+    tasks = list(tasks)
+    cache = _point_cache_for(fn)
+    if cache is None:
+        return parallel_map(fn, tasks, n_workers=n_workers)
+
+    keys = [_point_key(task) for task in tasks]
+    outcomes: dict[int, object] = {
+        index: cache.get(key) for index, key in enumerate(keys) if key in cache
+    }
+    pending = [index for index in range(len(tasks)) if index not in outcomes]
+
+    def flush(start: int, chunk_results: list) -> None:
+        chunk = pending[start : start + len(chunk_results)]
+        cache.update({keys[i]: outcome for i, outcome in zip(chunk, chunk_results)})
+        outcomes.update(dict(zip(chunk, chunk_results)))
+
+    parallel_map_chunked(
+        fn, [tasks[i] for i in pending], n_workers=n_workers, on_chunk=flush
+    )
+    return [outcomes[index] for index in range(len(tasks))]
+
+
+# --------------------------------------------------------------------------- #
+# Packet-success-rate sweeps                                                  #
+# --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
-class _SweepPoint:
-    """One independently-executable (MCS, SIR) point of a sweep."""
+class SweepPoint:
+    """One independently-executable packet-success-rate sweep point.
+
+    ``scenario_factory(mcs_name, sir_db)`` builds the point's scenario; the
+    grid dimension beyond (MCS, SIR) — guard band, segment count, interferer
+    count — is folded into the factory via :func:`functools.partial`, keeping
+    the point picklable for the process pool.
+    """
 
     scenario_factory: Callable[[str, float], Scenario]
     mcs_name: str
@@ -43,9 +129,10 @@ class _SweepPoint:
     n_packets: int
     seed: int
     engine: str | None = field(default=None)
+    n_segments: int | None = field(default=None)
 
 
-def _run_sweep_point(point: _SweepPoint) -> dict[str, float]:
+def run_sweep_point(point: SweepPoint) -> dict[str, float]:
     """Simulate one sweep point and return success percentages per receiver.
 
     Module-level so that it pickles into pool workers; all randomness derives
@@ -53,7 +140,9 @@ def _run_sweep_point(point: _SweepPoint) -> dict[str, float]:
     order) executes it.
     """
     scenario = point.scenario_factory(point.mcs_name, point.sir_db)
-    receivers = build_receivers(scenario.allocation, point.receiver_names)
+    receivers = build_receivers(
+        scenario.allocation, point.receiver_names, n_segments=point.n_segments
+    )
     stats = packet_success_rate(
         scenario, receivers, point.n_packets, seed=point.seed, engine=point.engine
     )
@@ -77,12 +166,12 @@ def psr_vs_sir(
     ``scenario_factory(mcs_name, sir_db)`` builds the scenario of one sweep
     point; each (MCS, receiver) pair becomes one series of the figure, named
     the way the paper labels its curves ("QPSK (1/2) With CPRecycle", ...).
-    Points run through the parallel execution backend; results are assembled
-    in deterministic point order whatever the execution order was.  ``engine``
+    Points run through :func:`execute_points`; results are assembled in
+    deterministic point order whatever the execution order was.  ``engine``
     picks the link engine per point (``None``: the ``REPRO_ENGINE`` default).
     """
     points = [
-        _SweepPoint(
+        SweepPoint(
             scenario_factory=scenario_factory,
             mcs_name=mcs_name,
             sir_db=sir_db,
@@ -94,7 +183,7 @@ def psr_vs_sir(
         for mcs_name in mcs_names
         for sir_db in sir_values_db
     ]
-    outcomes = parallel_map(_run_sweep_point, points, n_workers=n_workers)
+    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
 
     series: dict[str, list[float]] = {}
     for point, outcome in zip(points, outcomes):

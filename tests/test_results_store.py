@@ -1,0 +1,231 @@
+"""Tests for result serialisation, artifacts and the point-level cache."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.results import (
+    RESULT_SCHEMA_VERSION,
+    FigureResult,
+    format_csv,
+    format_table,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.store import (
+    CACHE_ENV_VAR,
+    PointCache,
+    ResultStore,
+    config_hash,
+    stable_key,
+)
+from repro.experiments.sweeps import execute_points
+
+MICRO = ExperimentProfile(name="micro", n_packets=2, payload_length=30, n_sir_points=2)
+
+
+class TestEmptyResultRendering:
+    def test_format_table_zero_x_values(self):
+        result = FigureResult("Figure X", "empty sweep", "SIR", [], {"a": [], "b": []})
+        text = format_table(result)
+        # Headers-only table: title, y-label, header row, separator — no crash.
+        assert "Figure X" in text and "SIR" in text and "a" in text and "b" in text
+        assert len(text.splitlines()) == 4
+
+    def test_format_table_zero_series(self):
+        text = format_table(FigureResult("F", "t", "x", [], {}))
+        assert "F: t" in text
+
+    def test_format_csv_zero_x_values(self):
+        result = FigureResult("Figure X", "empty sweep", "SIR", [], {"a": []})
+        assert format_csv(result) == "SIR,a\n"
+
+    def test_empty_round_trip(self):
+        result = FigureResult("Figure X", "empty", "SIR", [], {"a": []})
+        assert FigureResult.from_json(result.to_json()) == result
+
+
+class TestFigureResultSerialisation:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_round_trip_every_experiment(self, name):
+        result = run_experiment(name, MICRO)
+        assert isinstance(result, FigureResult)
+        restored = FigureResult.from_json(result.to_json())
+        assert restored == result
+        # Values survive as plain JSON scalars, exactly.
+        assert json.loads(result.to_json())["schema_version"] == RESULT_SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self):
+        payload = FigureResult("F", "t", "x", [1], {"a": [2.0]}).to_dict()
+        payload["schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            FigureResult.from_dict(payload)
+
+
+class TestStableKey:
+    def test_key_is_content_based(self):
+        from functools import partial
+
+        a = partial(sorted, reverse=True)
+        b = partial(sorted, reverse=True)
+        assert stable_key(a) == stable_key(b)
+        assert stable_key(a) != stable_key(partial(sorted, reverse=False))
+        assert stable_key({"x": 1.0}) != stable_key({"x": 2.0})
+
+    def test_config_hash_shape(self):
+        digest = config_hash("fig10", MICRO, "fast")
+        assert len(digest) == 12 and int(digest, 16) >= 0
+
+
+class TestResultStore:
+    def test_save_and_reload(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        result = FigureResult("Figure 10", "t", "Guard", [0.0, 5.0], {"a": [1.0, 2.0]})
+        path = store.save("fig10", result, profile=MICRO, engine="fast")
+        assert path.is_file()
+        assert store.load("fig10") == result
+        record = store.load_record("fig10")
+        assert record["profile"] == "micro"
+        assert record["engine"] == "fast"
+        assert record["config"]["n_packets"] == 2
+        assert record["config_hash"] == config_hash("fig10", MICRO, "fast")
+        assert store.names() == ["fig10"]
+
+    def test_unsupported_envelope_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = FigureResult("F", "t", "x", [1], {"a": [2.0]})
+        store.save("f", result)
+        record = json.loads(store.path_for("f").read_text())
+        record["schema_version"] = 99
+        store.path_for("f").write_text(json.dumps(record))
+        with pytest.raises(ValueError):
+            store.load("f")
+
+
+# Module-level (picklable) counting task function for the cache tests.  The
+# counter only tracks executions in THIS process, which is exactly what the
+# serial cache tests need.
+_EXECUTIONS = []
+
+
+def _tracked_task(value):
+    _EXECUTIONS.append(value)
+    return {"doubled": value * 2}
+
+
+@dataclass(frozen=True)
+class _EngineTask:
+    """Minimal task with the SweepPoint-style ``engine`` field."""
+
+    value: int
+    engine: str | None = None
+
+
+def _tracked_engine_task(task):
+    _EXECUTIONS.append(task.value)
+    return {"value": task.value}
+
+
+class TestPointCache:
+    def test_cache_file_round_trip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = PointCache(path)
+        cache.update({"k1": {"v": 1.5}, "k2": [1, 2]})
+        reloaded = PointCache(path)
+        assert len(reloaded) == 2
+        assert reloaded.get("k1") == {"v": 1.5} and "k2" in reloaded
+
+    def test_concurrent_writers_merge_instead_of_clobber(self, tmp_path):
+        path = tmp_path / "cache.json"
+        # Two runs sharing one cache file, each loaded before the other flushed.
+        run_a = PointCache(path)
+        run_b = PointCache(path)
+        run_a.update({"a1": 1})
+        run_b.update({"b1": 2})
+        run_a.update({"a2": 3})
+        merged = PointCache(path)
+        assert {key: merged.get(key) for key in ("a1", "b1", "a2")} == {"a1": 1, "b1": 2, "a2": 3}
+
+    def test_execute_points_skips_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        _EXECUTIONS.clear()
+        first = execute_points(_tracked_task, [1, 2, 3])
+        assert first == [{"doubled": 2}, {"doubled": 4}, {"doubled": 6}]
+        assert sorted(_EXECUTIONS) == [1, 2, 3]
+        # Re-run: everything served from the cache, nothing re-executed.
+        again = execute_points(_tracked_task, [1, 2, 3])
+        assert again == first
+        assert sorted(_EXECUTIONS) == [1, 2, 3]
+
+    def test_execute_points_resumes_partial_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        _EXECUTIONS.clear()
+        execute_points(_tracked_task, [1, 2])  # "interrupted" run: 2 of 4 points
+        full = execute_points(_tracked_task, [1, 2, 3, 4])
+        assert full == [{"doubled": v * 2} for v in [1, 2, 3, 4]]
+        # Only the missing points executed on resume.
+        assert sorted(_EXECUTIONS) == [1, 2, 3, 4]
+
+    def test_cache_disabled_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        _EXECUTIONS.clear()
+        execute_points(_tracked_task, [5])
+        execute_points(_tracked_task, [5])
+        assert _EXECUTIONS == [5, 5]
+
+    def test_engine_inheriting_point_invalidated_by_engine_change(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        _EXECUTIONS.clear()
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        execute_points(_tracked_engine_task, [_EngineTask(7, engine=None)])
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        execute_points(_tracked_engine_task, [_EngineTask(7, engine=None)])
+        # engine=None inherits REPRO_ENGINE, so the point's identity changes.
+        assert _EXECUTIONS == [7, 7]
+
+    def test_explicit_engine_point_survives_engine_change(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        _EXECUTIONS.clear()
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        execute_points(_tracked_engine_task, [_EngineTask(8, engine="fast")])
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        execute_points(_tracked_engine_task, [_EngineTask(8, engine="fast")])
+        assert _EXECUTIONS == [8]
+
+    def test_engineless_analysis_point_survives_engine_change(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        _EXECUTIONS.clear()
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        execute_points(_tracked_task, [9])
+        monkeypatch.setenv("REPRO_ENGINE", "reference")
+        execute_points(_tracked_task, [9])
+        # Analysis/Monte-Carlo tasks never touch the link engine: still cached.
+        assert _EXECUTIONS == [9]
+
+
+class TestRunnerPersistence:
+    def test_runner_out_and_resume(self, tmp_path, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        monkeypatch.setattr(runner, "QUICK_PROFILE", MICRO)
+        out = tmp_path / "results"
+        assert runner.main(["table1", "--out", str(out), "--format", "json", "--resume"]) == 0
+        store = ResultStore(out)
+        assert store.names() == ["table1"]
+        assert (out / ".cache").is_dir()
+        first = store.load("table1")
+        # Second run resumes from the cache and reproduces the artifact.
+        assert runner.main(["table1", "--out", str(out), "--resume"]) == 0
+        assert store.load("table1") == first
+        # The env override is restored afterwards.
+        assert CACHE_ENV_VAR not in __import__("os").environ
+
+    def test_runner_csv_format(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "QUICK_PROFILE", MICRO)
+        assert runner.main(["table1", "--format", "csv"]) == 0
+        captured = capsys.readouterr().out
+        assert captured.startswith("Standard / bandwidth,")
