@@ -1,0 +1,92 @@
+"""Custom scenarios through the declarative spec API — no figure module needed.
+
+Composes a three-interferer scenario the hard-coded figure factories could
+never express (ACI on both sides of the sender *plus* a weak co-channel
+interferer), sweeps it over SIR through the ``run_experiment_spec`` facade,
+registers a custom receiver plugin alongside the builtins, and round-trips
+the whole experiment through JSON — the same file format the CLI consumes
+(``cprecycle-experiments --spec my.json``).
+
+Run with ``python examples/custom_scenario.py``.
+"""
+
+from __future__ import annotations
+
+from repro.api import (
+    ChannelSpec,
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    register_receiver,
+    run_experiment_spec,
+)
+from repro.core import CPRecycleConfig, CPRecycleReceiver
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.results import format_table
+
+PROFILE = ExperimentProfile(name="example", n_packets=10, payload_length=60, n_sir_points=4)
+
+
+# A receiver plugin: CPRecycle restricted to a quarter of the usual segment
+# budget (a computation-limited device).  Registered builders are callable
+# from any spec by name — no experiment-module edits.
+@register_receiver("cprecycle-lite")
+def _build_cprecycle_lite(allocation, n_segments, **options):
+    return CPRecycleReceiver(CPRecycleConfig(max_segments=max(1, n_segments // 4), **options))
+
+
+def build_experiment() -> ExperimentSpec:
+    scenario = ScenarioSpec(
+        mcs_name="qpsk-1/2",
+        interferers=(
+            # Two ACI interferers flanking the sender with asymmetric guard
+            # bands; they share the swept total SIR.
+            InterfererSpec(kind="aci", side="upper", guard_subcarriers=2),
+            InterfererSpec(kind="aci", side="lower", guard_subcarriers=8),
+            # ...plus a weak co-channel interferer pinned at its own SIR,
+            # arriving over a 50 ns delay-spread multipath channel.
+            InterfererSpec(
+                kind="cci",
+                sir_db=15.0,
+                mcs_name="16qam-1/2",
+                channel=ChannelSpec(kind="exponential", delay_spread_ns=50.0),
+            ),
+        ),
+    )
+    return ExperimentSpec(
+        name="three-interferer-mix",
+        figure="Custom",
+        title="PSR vs SIR: two-sided ACI + weak multipath CCI",
+        scenario=scenario,
+        receivers=(
+            ReceiverSpec("standard"),
+            ReceiverSpec("cprecycle"),
+            ReceiverSpec("cprecycle-lite", display="CPRecycle (1/4 segments)"),
+        ),
+        sweep=SweepSpec(axes=(SweepAxis("sir_db", span=(-24.0, -9.0)),)),
+        series_label="{receiver}",
+    )
+
+
+def main() -> None:
+    spec = build_experiment()
+
+    print("Running the spec through the facade (pooled KDE, point cache and")
+    print("--workers would all apply exactly as for the builtin figures)...\n")
+    result = run_experiment_spec(spec, PROFILE)
+    print(format_table(result))
+
+    # The spec is data: serialise it, reload it, get the identical experiment.
+    text = spec.to_json()
+    from repro.api import ExperimentSpec as Spec
+
+    assert Spec.from_json(text) == spec
+    print(f"\nSpec round-trips through JSON ({len(text)} bytes); run it from the")
+    print("CLI with:  cprecycle-experiments --spec my.json --workers 4 --out results")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+"""Execution engine for declarative experiment specs.
+
+:func:`run_experiment_spec` is the single facade every experiment goes
+through — the eleven builtin figures and any user-authored spec alike:
+
+* ``kind="psr"`` expands the sweep grid (outer axes x inner x-axis, row
+  major), applies each axis value to the scenario template (or to the
+  receiver set, for the segment-budget axes), and dispatches one
+  :class:`repro.experiments.sweeps.SweepPoint` per grid cell through the
+  shared execution layer — the process pool, the persistent point cache and
+  the engine selection apply exactly as they always have.  Series are
+  assembled per (outer-axes combination x receiver) and named by the
+  spec's ``series_label`` template.
+* ``kind="analysis"`` resolves a registered analysis runner
+  (:func:`repro.api.registry.resolve_analysis`) and forwards the spec's
+  ``params``.
+
+:func:`spec_hash` is the short content hash of a resolved spec that keys
+result artifacts (:meth:`repro.experiments.store.ResultStore.save`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import replace
+from typing import Any
+
+from repro.api.registry import resolve_analysis
+from repro.api.specs import (
+    ExperimentSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SpecError,
+    _INTERFERER_AXIS,
+    axis_placeholder,
+)
+from repro.experiments.results import FigureResult
+from repro.experiments.store import stable_key
+from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
+
+__all__ = ["run_experiment_spec", "spec_hash"]
+
+
+def spec_hash(spec: ExperimentSpec) -> str:
+    """Short (12 hex digit) content hash of a spec, stable across processes."""
+    return stable_key(spec)[:12]
+
+
+def _pretty_mcs(mcs_name: str) -> str:
+    """Figure-legend MCS text: ``qpsk-1/2`` -> ``QPSK (1/2)``."""
+    modulation, rate = mcs_name.split("-")
+    return f"{modulation.upper()} ({rate})"
+
+
+def _segments_for_fraction(fraction: float, cp_length: int) -> int:
+    """Receiver segment budget for a cyclic-prefix fraction (>= 1 segment).
+
+    Shared by the ``segment_fraction`` axis and the ``segment_percent_of_cp``
+    x-transform so the plotted percentages always describe the budgets that
+    were actually simulated.
+    """
+    return max(1, int(round(float(fraction) * cp_length)))
+
+
+def _apply_axis(
+    scenario: ScenarioSpec,
+    receivers: tuple[ReceiverSpec, ...],
+    field: str,
+    value: Any,
+) -> tuple[ScenarioSpec, tuple[ReceiverSpec, ...]]:
+    """One grid cell's perturbation of the scenario template / receiver set."""
+    if field == "guard_subcarriers":
+        # The guard band applies to every ACI interferer (and, through the
+        # derived sender layout, to the grid geometry).
+        interferers = tuple(
+            replace(spec, guard_subcarriers=int(value)) if spec.kind == "aci" else spec
+            for spec in scenario.interferers
+        )
+        return replace(scenario, interferers=interferers), receivers
+    if field == "segment_fraction":
+        n_segments = _segments_for_fraction(value, scenario.sender_allocation().cp_length)
+        return scenario, tuple(replace(spec, n_segments=n_segments) for spec in receivers)
+    if field == "n_segments":
+        return scenario, tuple(replace(spec, n_segments=int(value)) for spec in receivers)
+    match = _INTERFERER_AXIS.fullmatch(field)
+    if match is not None:
+        index, attr = match.groups()
+        interferers = list(scenario.interferers)
+        targets = range(len(interferers)) if index == "*" else (int(index),)
+        for i in targets:
+            interferers[i] = replace(interferers[i], **{attr: value})
+        return replace(scenario, interferers=tuple(interferers)), receivers
+    return replace(scenario, **{field: value}), receivers
+
+
+def _x_values(spec: ExperimentSpec) -> list:
+    """The figure's x values, after the optional display transform."""
+    values = spec.sweep.x_axis.values
+    if spec.x_transform is None:
+        return list(values)
+    allocation = spec.scenario.sender_allocation()
+    if spec.x_transform == "guard_mhz":
+        return [round(value * allocation.subcarrier_spacing_hz / 1e6, 3) for value in values]
+    # segment_percent_of_cp: fractions -> segment counts -> % of the CP.
+    cp_length = allocation.cp_length
+    return [
+        round(100.0 * _segments_for_fraction(value, cp_length) / cp_length, 1)
+        for value in values
+    ]
+
+
+def run_experiment_spec(
+    spec: ExperimentSpec,
+    profile: Any = None,
+    n_workers: int | None = None,
+    engine: str | None = None,
+) -> FigureResult:
+    """Run one :class:`ExperimentSpec` and return its :class:`FigureResult`.
+
+    ``profile`` fills the spec's unresolved execution-scale fields
+    (default: :func:`repro.experiments.config.default_profile`); ``engine``
+    overrides the spec's link engine for every sweep point.
+    """
+    from repro.experiments.config import default_profile
+
+    profile = profile if profile is not None else default_profile()
+    if engine is not None and spec.kind == "psr":
+        spec = replace(spec, engine=engine)
+    spec = spec.resolve(profile)
+
+    if spec.kind == "analysis":
+        # Analyses draw their execution scale from the profile; fold the
+        # spec's resolved fields back in so an edited dumped spec (seed,
+        # payload, packet count) actually takes effect.
+        if dataclasses.is_dataclass(profile) and not isinstance(profile, type):
+            profile = dataclasses.replace(
+                profile,
+                n_packets=spec.n_packets,
+                payload_length=spec.payload_length,
+                seed=spec.seed,
+            )
+        runner = resolve_analysis(spec.analysis)
+        return runner(profile, n_workers=n_workers, **(spec.params or {}))
+
+    axes = spec.sweep.axes
+    fields = [axis.field for axis in axes]
+    points: list[SweepPoint] = []
+    contexts: list[dict[str, Any]] = []
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        scenario, receivers = spec.scenario, spec.receivers
+        for field, value in zip(fields, combo):
+            scenario, receivers = _apply_axis(scenario, receivers, field, value)
+        points.append(
+            SweepPoint(
+                scenario=scenario,
+                receivers=receivers,
+                n_packets=spec.n_packets,
+                seed=spec.seed,
+                engine=spec.engine,
+            )
+        )
+        contexts.append(
+            {axis_placeholder(field): value for field, value in zip(fields, combo)}
+        )
+
+    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
+
+    series: dict[str, list[float]] = {}
+    for context, outcome in zip(contexts, outcomes):
+        label_context = dict(context)
+        if "mcs_name" in label_context:
+            label_context["mcs"] = _pretty_mcs(label_context["mcs_name"])
+        for receiver in spec.receivers:
+            label = spec.series_label.format(**label_context, receiver=receiver.label)
+            series.setdefault(label, []).append(outcome[receiver.name])
+
+    x_values = _x_values(spec)
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise SpecError(
+                f"series {label!r} collected {len(values)} points for {len(x_values)} x "
+                "values; distinct series must not share a label — include an axis "
+                "placeholder (or receiver display) in series_label"
+            )
+    return FigureResult(
+        figure=spec.figure,
+        title=spec.title,
+        x_label=spec.x_label,
+        x_values=x_values,
+        series=series,
+        y_label=spec.y_label,
+        notes=list(spec.notes),
+    )

@@ -1,0 +1,188 @@
+"""Plugin registries for receivers and analysis runners.
+
+The receiver registry replaces the per-figure receiver wiring: every
+experiment resolves its receivers by name through
+:func:`build_receiver`, and downstream users add their own receiver
+algorithms with :func:`register_receiver` — no experiment-module edits
+required::
+
+    from repro.api import ReceiverSpec
+    from repro.api.registry import register_receiver
+
+    @register_receiver("mmse")
+    def _build_mmse(allocation, n_segments, **options):
+        return MyMmseReceiver(n_taps=n_segments, **options)
+
+    build_receiver(ReceiverSpec(name="mmse"), allocation)
+
+A registered builder is called as ``builder(allocation, n_segments,
+**options)`` where ``n_segments`` is the receiver's FFT-segment budget
+(every ISI-free cyclic-prefix sample when the spec leaves it ``None``) and
+``options`` are the spec's extra keyword arguments.
+
+The analysis registry plays the same role for the paper's non-PSR figures
+(4, 6, 13, Table 1): an ``ExperimentSpec(kind="analysis")`` names its
+runner, and :func:`resolve_analysis` imports the builtin module on demand
+so a spec loaded from JSON in a fresh process still resolves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from collections.abc import Callable
+
+from repro.api.specs import ReceiverSpec, SpecError
+from repro.core.config import CPRecycleConfig
+from repro.core.naive import NaiveSegmentReceiver
+from repro.core.oracle import OracleSegmentReceiver
+from repro.core.receiver import CPRecycleReceiver
+from repro.phy.subcarriers import OfdmAllocation
+from repro.receiver.base import OfdmReceiverBase
+from repro.receiver.standard import StandardOfdmReceiver
+
+__all__ = [
+    "register_receiver",
+    "available_receivers",
+    "build_receiver",
+    "register_analysis",
+    "available_analyses",
+    "resolve_analysis",
+]
+
+_RECEIVER_BUILDERS: dict[str, Callable[..., OfdmReceiverBase]] = {}
+
+
+def register_receiver(name: str, *, overwrite: bool = False) -> Callable:
+    """Register a receiver builder under ``name`` (decorator).
+
+    The builder is called as ``builder(allocation, n_segments, **options)``
+    and must return an :class:`repro.receiver.base.OfdmReceiverBase`.
+    Re-registering an existing name raises unless ``overwrite=True``.
+    """
+
+    def decorator(builder: Callable[..., OfdmReceiverBase]) -> Callable[..., OfdmReceiverBase]:
+        if not overwrite and name in _RECEIVER_BUILDERS:
+            raise ValueError(
+                f"receiver {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _RECEIVER_BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def available_receivers() -> list[str]:
+    """Names of all registered receivers."""
+    return sorted(_RECEIVER_BUILDERS)
+
+
+def build_receiver(spec: ReceiverSpec, allocation: OfdmAllocation) -> OfdmReceiverBase:
+    """Construct the receiver a :class:`ReceiverSpec` describes."""
+    builder = _RECEIVER_BUILDERS.get(spec.name)
+    if builder is None:
+        raise SpecError(
+            f"unknown receiver {spec.name!r}; registered: {available_receivers()} "
+            "(add your own with repro.api.registry.register_receiver)"
+        )
+    n_segments = allocation.cp_length if spec.n_segments is None else spec.n_segments
+    options = dict(spec.options or {})
+    # Check the options against the builder's signature up front; builders
+    # that forward **options (the builtins) can still raise TypeError on an
+    # unknown key inside, which reads as a spec problem only when options
+    # were actually given — a TypeError out of an option-less build is the
+    # plugin bug it looks like and propagates untouched.
+    try:
+        inspect.signature(builder).bind(allocation, n_segments, **options)
+    except TypeError as error:
+        if options:
+            raise SpecError(
+                f"receiver {spec.name!r} rejected options {sorted(options)}: {error}"
+            ) from error
+        raise SpecError(
+            f"the builder registered for receiver {spec.name!r} does not accept the "
+            f"(allocation, n_segments) call signature: {error}"
+        ) from error
+    try:
+        return builder(allocation, n_segments, **options)
+    except TypeError as error:
+        if options:
+            raise SpecError(
+                f"receiver {spec.name!r} rejected options {sorted(options)}: {error}"
+            ) from error
+        raise
+
+
+# --------------------------------------------------------------------------- #
+# Builtin receivers (the paper's receiver set)                                #
+# --------------------------------------------------------------------------- #
+@register_receiver("standard")
+def _build_standard(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+    return StandardOfdmReceiver(**options)
+
+
+@register_receiver("naive")
+def _build_naive(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+    return NaiveSegmentReceiver(max_segments=n_segments, **options)
+
+
+@register_receiver("oracle")
+def _build_oracle(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+    return OracleSegmentReceiver(max_segments=n_segments, **options)
+
+
+@register_receiver("cprecycle")
+def _build_cprecycle(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+    return CPRecycleReceiver(CPRecycleConfig(max_segments=n_segments, **options))
+
+
+# --------------------------------------------------------------------------- #
+# Analysis runners (the non-PSR figures)                                      #
+# --------------------------------------------------------------------------- #
+_ANALYSIS_RUNNERS: dict[str, Callable] = {}
+
+#: Builtin analysis names -> defining module, imported lazily so a spec
+#: loaded from JSON resolves without the caller importing figure modules.
+_BUILTIN_ANALYSIS_MODULES: dict[str, str] = {
+    "fig4-segment-profile": "repro.experiments.fig04_segments",
+    "fig6-deviation-cdf": "repro.experiments.fig06_kde",
+    "fig13-neighbor-cdf": "repro.experiments.fig13_network",
+    "table1-isi-free": "repro.experiments.table01_cp",
+}
+
+
+def register_analysis(name: str, *, overwrite: bool = False) -> Callable:
+    """Register an analysis runner under ``name`` (decorator).
+
+    The runner is called as ``runner(profile, n_workers=..., **params)``
+    with the spec's ``params`` and must return a
+    :class:`repro.experiments.results.FigureResult`.
+    """
+
+    def decorator(runner: Callable) -> Callable:
+        if not overwrite and name in _ANALYSIS_RUNNERS:
+            raise ValueError(
+                f"analysis {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _ANALYSIS_RUNNERS[name] = runner
+        return runner
+
+    return decorator
+
+
+def available_analyses() -> list[str]:
+    """Names of all registered (or builtin importable) analysis runners."""
+    return sorted(set(_ANALYSIS_RUNNERS) | set(_BUILTIN_ANALYSIS_MODULES))
+
+
+def resolve_analysis(name: str) -> Callable:
+    """Look up an analysis runner, importing its builtin module if needed."""
+    if name not in _ANALYSIS_RUNNERS and name in _BUILTIN_ANALYSIS_MODULES:
+        importlib.import_module(_BUILTIN_ANALYSIS_MODULES[name])
+    runner = _ANALYSIS_RUNNERS.get(name)
+    if runner is None:
+        raise SpecError(
+            f"unknown analysis {name!r}; available: {available_analyses()} "
+            "(add your own with repro.api.registry.register_analysis)"
+        )
+    return runner

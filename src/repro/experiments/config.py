@@ -17,13 +17,8 @@ from dataclasses import dataclass, replace
 
 from repro.channel.interference import adjacent_channel_interferer, co_channel_interferer
 from repro.channel.scenario import Scenario
-from repro.core.config import CPRecycleConfig
-from repro.core.naive import NaiveSegmentReceiver
-from repro.core.oracle import OracleSegmentReceiver
-from repro.core.receiver import CPRecycleReceiver
 from repro.phy.subcarriers import OfdmAllocation, dot11g_allocation, wideband_allocation
 from repro.receiver.base import OfdmReceiverBase
-from repro.receiver.standard import StandardOfdmReceiver
 
 __all__ = [
     "ExperimentProfile",
@@ -32,6 +27,7 @@ __all__ = [
     "default_profile",
     "SNR_FOR_MCS",
     "PAPER_MCS_SET",
+    "ACI_EDGE_WINDOW",
     "aci_sender_allocation",
     "aci_scenario",
     "cci_scenario",
@@ -172,22 +168,17 @@ def build_receivers(
 ) -> dict[str, OfdmReceiverBase]:
     """Construct the receivers used in an experiment.
 
-    ``names`` selects among ``standard``, ``naive``, ``oracle`` and
-    ``cprecycle``; every multi-segment receiver uses all ISI-free cyclic
-    prefix samples (or ``n_segments`` when given).
+    ``names`` resolve through the receiver plugin registry
+    (:mod:`repro.api.registry`; builtins: ``standard``, ``naive``,
+    ``oracle``, ``cprecycle``).  Every multi-segment receiver uses all
+    ISI-free cyclic prefix samples (or ``n_segments`` when given).
     """
-    max_segments = allocation.cp_length if n_segments is None else n_segments
-    receivers: dict[str, OfdmReceiverBase] = {}
-    for name in names:
-        if name == "standard":
-            receivers[name] = StandardOfdmReceiver()
-        elif name == "naive":
-            receivers[name] = NaiveSegmentReceiver(max_segments=max_segments)
-        elif name == "oracle":
-            receivers[name] = OracleSegmentReceiver(max_segments=max_segments)
-        elif name == "cprecycle":
-            config = CPRecycleConfig(max_segments=max_segments)
-            receivers[name] = CPRecycleReceiver(config)
-        else:
-            raise ValueError(f"unknown receiver {name!r}")
-    return receivers
+    # Imported lazily: repro.api builds on this module's profile/scenario
+    # definitions, so a top-level import would be circular.
+    from repro.api.registry import build_receiver
+    from repro.api.specs import ReceiverSpec
+
+    return {
+        name: build_receiver(ReceiverSpec(name=name, n_segments=n_segments), allocation)
+        for name in names
+    }

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import ExperimentSpec, register_analysis, run_experiment_spec
 from repro.core.oracle import interference_power_per_segment
 from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
 from repro.experiments.results import FigureResult
@@ -27,7 +28,15 @@ from repro.receiver.frontend import FrontEnd
 from repro.utils.dsp import linear_to_db
 from repro.utils.rng import child_rng
 
-__all__ = ["run", "run_subcarrier_profile", "run_segment_profile", "run_constellation", "main"]
+__all__ = [
+    "SPEC",
+    "build_spec",
+    "run",
+    "run_subcarrier_profile",
+    "run_segment_profile",
+    "run_constellation",
+    "main",
+]
 
 #: Number of FFT segments used in the paper's Fig. 4 analysis.
 N_SEGMENTS = 16
@@ -174,11 +183,42 @@ def run_constellation(
     )
 
 
+@register_analysis("fig4-segment-profile")
+def _segment_profile_analysis(
+    profile: ExperimentProfile,
+    n_workers: int | None = None,
+    sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
+    subcarrier_offset_from_edge: int = 4,
+) -> FigureResult:
+    """Registered analysis runner behind the Figure 4 spec."""
+    return run_segment_profile(
+        profile,
+        sir_values_db=tuple(sir_values_db),
+        subcarrier_offset_from_edge=subcarrier_offset_from_edge,
+        n_workers=n_workers,
+    )
+
+
+def build_spec() -> ExperimentSpec:
+    """The canonical Figure 4 spec (the representative segment profile)."""
+    return ExperimentSpec(
+        name="fig4",
+        figure="Figure 4b",
+        title="Interference power across FFT segments (subcarrier near the interferer edge)",
+        kind="analysis",
+        analysis="fig4-segment-profile",
+        params={"sir_values_db": [-10.0, -20.0, -30.0], "subcarrier_offset_from_edge": 4},
+    )
+
+
+SPEC = build_spec()
+
+
 def run(
     profile: ExperimentProfile | None = None, n_workers: int | None = None
 ) -> FigureResult:
     """Representative result for Figure 4 (the segment profile, Fig. 4b)."""
-    return run_segment_profile(profile, n_workers=n_workers)
+    return run_experiment_spec(SPEC, profile, n_workers=n_workers)
 
 
 def main() -> None:

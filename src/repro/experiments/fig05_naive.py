@@ -6,27 +6,68 @@ with a single adjacent-channel interferer, QPSK 3/4, at SIR -10/-20/-30 dB.
 The paper's point: at -10 dB the naive decoder matches the Oracle, but at
 -20/-30 dB it collapses because outlier segments destroy the arithmetic mean.
 
-Each guard-band value is one sweep point on the shared execution layer, so
-``--workers``/``--engine`` and the persistent point cache apply.
+Each panel is one declarative :class:`~repro.api.ExperimentSpec`: the three
+receivers are registry-resolved :class:`~repro.api.ReceiverSpec` entries
+with a 16-segment budget, and each guard-band value is one sweep point on
+the shared execution layer, so ``--workers``/``--engine`` and the
+persistent point cache apply.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
-from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
 
-__all__ = ["run", "run_all", "main", "GUARD_BAND_SUBCARRIERS"]
+__all__ = ["SPEC", "build_spec", "run", "run_all", "main", "GUARD_BAND_SUBCARRIERS"]
 
 #: Guard-band sweep in subcarriers (0 to 20 MHz at 312.5 kHz spacing).
 GUARD_BAND_SUBCARRIERS: tuple[int, ...] = (0, 8, 16, 32, 64)
 
-RECEIVER_NAMES = ("standard", "oracle", "naive")
 MCS_NAME = "qpsk-3/4"
 N_SEGMENTS = 16
+
+
+def build_spec(
+    sir_db: float = -20.0,
+    guard_band_subcarriers: tuple[int, ...] = GUARD_BAND_SUBCARRIERS,
+    engine: str | None = None,
+) -> ExperimentSpec:
+    """One panel of Figure 5 (a single SIR value) as a spec."""
+    return ExperimentSpec(
+        name="fig5",
+        figure="Figure 5",
+        title=f"Packet success rate vs guard band (naive decoder), SIR {sir_db:g} dB, {MCS_NAME}",
+        scenario=ScenarioSpec(
+            mcs_name=MCS_NAME,
+            sir_db=sir_db,
+            interferers=(InterfererSpec(kind="aci", edge_window_length=0),),
+        ),
+        receivers=(
+            ReceiverSpec("standard", n_segments=N_SEGMENTS, display="Standard OFDM Receiver"),
+            ReceiverSpec("oracle", n_segments=N_SEGMENTS, display="Oracle Scheme"),
+            ReceiverSpec("naive", n_segments=N_SEGMENTS, display="Naive Decoder"),
+        ),
+        sweep=SweepSpec(
+            axes=(SweepAxis("guard_subcarriers", values=tuple(guard_band_subcarriers)),)
+        ),
+        series_label="{receiver}",
+        x_label="Guard band (MHz)",
+        x_transform="guard_mhz",
+        notes=("single adjacent-channel interferer with rectangular symbol edges",),
+        engine=engine,
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -37,51 +78,13 @@ def run(
     engine: str | None = None,
 ) -> FigureResult:
     """One panel of Figure 5 (a single SIR value)."""
-    profile = profile or default_profile()
-    points = [
-        SweepPoint(
-            scenario_factory=partial(
-                aci_scenario,
-                payload_length=profile.payload_length,
-                guard_subcarriers=guard,
-                edge_window_length=0,
-            ),
-            mcs_name=MCS_NAME,
-            sir_db=sir_db,
-            receiver_names=RECEIVER_NAMES,
-            n_packets=profile.n_packets,
-            seed=profile.seed,
-            engine=engine,
-            n_segments=N_SEGMENTS,
-        )
-        for guard in guard_band_subcarriers
-    ]
-    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
-
-    series: dict[str, list[float]] = {name: [] for name in RECEIVER_NAMES}
-    for outcome in outcomes:
-        for name in RECEIVER_NAMES:
-            series[name].append(outcome[name])
-    guard_mhz = [
-        round(guard * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3) for guard in guard_band_subcarriers
-    ]
-    return FigureResult(
-        figure="Figure 5",
-        title=f"Packet success rate vs guard band (naive decoder), SIR {sir_db:g} dB, {MCS_NAME}",
-        x_label="Guard band (MHz)",
-        x_values=guard_mhz,
-        series={
-            "Standard OFDM Receiver": series["standard"],
-            "Oracle Scheme": series["oracle"],
-            "Naive Decoder": series["naive"],
-        },
-        notes=["single adjacent-channel interferer with rectangular symbol edges"],
+    return run_experiment_spec(
+        build_spec(sir_db, guard_band_subcarriers, engine=engine), profile, n_workers=n_workers
     )
 
 
 def run_all(profile: ExperimentProfile | None = None) -> dict[float, FigureResult]:
     """All three panels (SIR -10, -20, -30 dB), as in the paper."""
-    profile = profile or default_profile()
     return {sir: run(profile, sir_db=sir) for sir in (-10.0, -20.0, -30.0)}
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.stats import norm
 
+from repro.api import ExperimentSpec, register_analysis, run_experiment_spec
 from repro.core.config import CPRecycleConfig
 from repro.core.interference_model import InterferenceModel
 from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
@@ -28,7 +29,14 @@ from repro.experiments.sweeps import execute_points
 from repro.receiver.frontend import FrontEnd
 from repro.utils.rng import child_rng
 
-__all__ = ["run", "run_bandwidth_illustration", "run_deviation_cdf", "main"]
+__all__ = [
+    "SPEC",
+    "build_spec",
+    "run",
+    "run_bandwidth_illustration",
+    "run_deviation_cdf",
+    "main",
+]
 
 
 def run_bandwidth_illustration(
@@ -133,11 +141,45 @@ def run_deviation_cdf(
     )
 
 
+@register_analysis("fig6-deviation-cdf")
+def _deviation_cdf_analysis(
+    profile: ExperimentProfile,
+    n_workers: int | None = None,
+    sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
+    quantiles: tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> FigureResult:
+    """Registered analysis runner behind the Figure 6 spec."""
+    return run_deviation_cdf(
+        profile,
+        sir_values_db=tuple(sir_values_db),
+        quantiles=tuple(quantiles),
+        n_workers=n_workers,
+    )
+
+
+def build_spec() -> ExperimentSpec:
+    """The canonical Figure 6 spec (the representative deviation CDF)."""
+    return ExperimentSpec(
+        name="fig6",
+        figure="Figure 6b",
+        title="Amplitude-deviation CDF: data-symbol samples vs preamble-trained KDE",
+        kind="analysis",
+        analysis="fig6-deviation-cdf",
+        params={
+            "sir_values_db": [-10.0, -20.0, -30.0],
+            "quantiles": [0.1, 0.25, 0.5, 0.75, 0.9],
+        },
+    )
+
+
+SPEC = build_spec()
+
+
 def run(
     profile: ExperimentProfile | None = None, n_workers: int | None = None
 ) -> FigureResult:
     """Representative result for Figure 6 (the deviation CDF, Fig. 6b)."""
-    return run_deviation_cdf(profile, n_workers=n_workers)
+    return run_experiment_spec(SPEC, profile, n_workers=n_workers)
 
 
 def main() -> None:

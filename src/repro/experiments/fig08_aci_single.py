@@ -4,17 +4,53 @@ Three MCS modes (QPSK 1/2, 16-QAM 1/2, 64-QAM 2/3), each decoded with and
 without CPRecycle.  The paper's headline ACI result: CPRecycle moves every
 curve's cliff to substantially lower SIR, enabling communication in regimes
 where the standard receiver loses every packet.
+
+The figure is one declarative :class:`~repro.api.ExperimentSpec` (``SPEC``)
+run through the :func:`~repro.api.run_experiment_spec` facade — dump it with
+``cprecycle-experiments fig8 --dump-spec`` as a starting point for custom
+scenarios.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, aci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import psr_vs_sir, sir_axis
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "build_spec", "run", "main"]
+
+
+def build_spec(
+    mcs_names: tuple[str, ...] = PAPER_MCS_SET,
+    sir_range_db: tuple[float, float] = (-32.0, -8.0),
+) -> ExperimentSpec:
+    """The canonical Figure 8 spec (optionally with a custom MCS/SIR grid)."""
+    return ExperimentSpec(
+        name="fig8",
+        figure="Figure 8",
+        title="PSR vs SIR, single adjacent-channel interferer",
+        scenario=ScenarioSpec(interferers=(InterfererSpec(kind="aci"),)),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("mcs_name", values=tuple(mcs_names)),
+                SweepAxis("sir_db", span=sir_range_db),
+            )
+        ),
+        series_label="{mcs} {receiver}",
+        notes=("interferer on the adjacent subcarrier block, 4-subcarrier guard band",),
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -24,20 +60,7 @@ def run(
     n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with one adjacent-channel interferer."""
-    profile = profile or default_profile()
-    sir_values = sir_axis(sir_range_db[0], sir_range_db[1], profile.n_sir_points)
-    return psr_vs_sir(
-        figure="Figure 8",
-        title="PSR vs SIR, single adjacent-channel interferer",
-        # partial of a module-level function: picklable, so sweep points can
-        # run on pool workers.
-        scenario_factory=partial(aci_scenario, payload_length=profile.payload_length),
-        mcs_names=mcs_names,
-        sir_values_db=sir_values,
-        profile=profile,
-        notes=["interferer on the adjacent subcarrier block, 4-subcarrier guard band"],
-        n_workers=n_workers,
-    )
+    return run_experiment_spec(build_spec(mcs_names, sir_range_db), profile, n_workers=n_workers)
 
 
 def main() -> None:

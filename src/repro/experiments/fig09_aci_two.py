@@ -2,18 +2,59 @@
 
 The sender is flanked by interferers on both sides (the dense-WLAN overlap
 scenario); twice as many subcarriers are affected, yet CPRecycle's
-per-subcarrier interference model keeps most of its gain.
+per-subcarrier interference model keeps most of its gain.  Both interferers
+share the scenario's total SIR (the spec layer splits the power 3 dB each),
+exactly as the paper counts combined interference power.
+
+The figure is one declarative :class:`~repro.api.ExperimentSpec` (``SPEC``)
+run through the :func:`~repro.api.run_experiment_spec` facade.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, aci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import psr_vs_sir, sir_axis
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "build_spec", "run", "main"]
+
+
+def build_spec(
+    mcs_names: tuple[str, ...] = PAPER_MCS_SET,
+    sir_range_db: tuple[float, float] = (-32.0, -8.0),
+) -> ExperimentSpec:
+    """The canonical Figure 9 spec (optionally with a custom MCS/SIR grid)."""
+    return ExperimentSpec(
+        name="fig9",
+        figure="Figure 9",
+        title="PSR vs SIR, two adjacent-channel interferers",
+        scenario=ScenarioSpec(
+            interferers=(
+                InterfererSpec(kind="aci", side="upper"),
+                InterfererSpec(kind="aci", side="lower"),
+            )
+        ),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("mcs_name", values=tuple(mcs_names)),
+                SweepAxis("sir_db", span=sir_range_db),
+            )
+        ),
+        series_label="{mcs} {receiver}",
+        notes=("interferers on both sides of the sender; SIR counts their combined power",),
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -23,20 +64,7 @@ def run(
     n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with interferers on both adjacent blocks."""
-    profile = profile or default_profile()
-    sir_values = sir_axis(sir_range_db[0], sir_range_db[1], profile.n_sir_points)
-    return psr_vs_sir(
-        figure="Figure 9",
-        title="PSR vs SIR, two adjacent-channel interferers",
-        scenario_factory=partial(
-            aci_scenario, payload_length=profile.payload_length, two_sided=True
-        ),
-        mcs_names=mcs_names,
-        sir_values_db=sir_values,
-        profile=profile,
-        notes=["interferers on both sides of the sender; SIR counts their combined power"],
-        n_workers=n_workers,
-    )
+    return run_experiment_spec(build_spec(mcs_names, sir_range_db), profile, n_workers=n_workers)
 
 
 def main() -> None:

@@ -5,27 +5,62 @@ with and without CPRecycle.  The paper's spectrum-efficiency argument: with
 CPRecycle a cognitive user can be packed much closer to a strong incumbent
 for the same packet success rate.
 
-The (SIR x guard-band) grid runs as independent sweep points through the
-shared execution layer, so ``--workers``/``--engine`` and the persistent
-point cache apply exactly as in the SIR-sweep figures.
+The figure is one declarative :class:`~repro.api.ExperimentSpec` (``SPEC``):
+the (SIR x guard-band) grid is two sweep axes, the guard axis doubles as the
+x-axis (rendered in MHz via ``x_transform``), and every grid cell runs as an
+independent sweep point through the shared execution layer, so
+``--workers``/``--engine`` and the persistent point cache apply exactly as
+in the SIR-sweep figures.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
-from repro.phy.subcarriers import DOT11G_SUBCARRIER_SPACING_HZ
 
-__all__ = ["run", "main", "GUARD_BAND_SUBCARRIERS"]
+__all__ = ["SPEC", "build_spec", "run", "main", "GUARD_BAND_SUBCARRIERS"]
 
 #: Guard-band sweep in subcarriers (0 to 30 MHz at 312.5 kHz spacing).
 GUARD_BAND_SUBCARRIERS: tuple[int, ...] = (0, 16, 32, 64, 96)
 
 MCS_NAME = "16qam-1/2"
-RECEIVER_NAMES = ("standard", "cprecycle")
+
+
+def build_spec(
+    sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
+    guard_band_subcarriers: tuple[int, ...] = GUARD_BAND_SUBCARRIERS,
+    engine: str | None = None,
+) -> ExperimentSpec:
+    """The canonical Figure 10 spec (optionally with a custom grid)."""
+    return ExperimentSpec(
+        name="fig10",
+        figure="Figure 10",
+        title=f"PSR vs guard band with an adjacent legacy transmitter ({MCS_NAME})",
+        scenario=ScenarioSpec(mcs_name=MCS_NAME, interferers=(InterfererSpec(kind="aci"),)),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("sir_db", values=tuple(sir_values_db)),
+                SweepAxis("guard_subcarriers", values=tuple(guard_band_subcarriers)),
+            )
+        ),
+        series_label="SIR {sir_db:g} dB, {receiver}",
+        x_label="Guard band (MHz)",
+        x_transform="guard_mhz",
+        engine=engine,
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -36,44 +71,10 @@ def run(
     engine: str | None = None,
 ) -> FigureResult:
     """Packet success rate vs guard band, with and without CPRecycle."""
-    profile = profile or default_profile()
-    guard_mhz = [round(g * DOT11G_SUBCARRIER_SPACING_HZ / 1e6, 3) for g in guard_band_subcarriers]
-    points = [
-        SweepPoint(
-            # partial of a module-level function: picklable, so grid cells
-            # can run on pool workers.
-            scenario_factory=partial(
-                aci_scenario,
-                payload_length=profile.payload_length,
-                guard_subcarriers=guard,
-                two_sided=False,
-            ),
-            mcs_name=MCS_NAME,
-            sir_db=sir_db,
-            receiver_names=RECEIVER_NAMES,
-            n_packets=profile.n_packets,
-            seed=profile.seed,
-            engine=engine,
-        )
-        for sir_db in sir_values_db
-        for guard in guard_band_subcarriers
-    ]
-    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
-
-    series: dict[str, list[float]] = {}
-    for point, outcome in zip(points, outcomes):
-        for name in RECEIVER_NAMES:
-            label = (
-                f"SIR {point.sir_db:g} dB, "
-                + ("With CPRecycle" if name == "cprecycle" else "Without CPRecycle")
-            )
-            series.setdefault(label, []).append(outcome[name])
-    return FigureResult(
-        figure="Figure 10",
-        title=f"PSR vs guard band with an adjacent legacy transmitter ({MCS_NAME})",
-        x_label="Guard band (MHz)",
-        x_values=guard_mhz,
-        series=series,
+    return run_experiment_spec(
+        build_spec(sir_values_db, guard_band_subcarriers, engine=engine),
+        profile,
+        n_workers=n_workers,
     )
 
 

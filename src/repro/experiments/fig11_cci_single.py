@@ -4,17 +4,53 @@ Standard 802.11g allocation, interferer on the same subcarriers with carrier
 sensing disabled.  Co-channel interference is harsher than ACI (it is in-band
 and hits every subcarrier), the tolerated SIR range is narrower, and
 CPRecycle's gain is smaller but still material.
+
+The figure is one declarative :class:`~repro.api.ExperimentSpec` (``SPEC``)
+run through the :func:`~repro.api.run_experiment_spec` facade.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, cci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import psr_vs_sir, sir_axis
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "build_spec", "run", "main"]
+
+
+def build_spec(
+    mcs_names: tuple[str, ...] = PAPER_MCS_SET,
+    sir_range_db: tuple[float, float] = (-5.0, 25.0),
+) -> ExperimentSpec:
+    """The canonical Figure 11 spec (optionally with a custom MCS/SIR grid)."""
+    return ExperimentSpec(
+        name="fig11",
+        figure="Figure 11",
+        title="PSR vs SIR, single co-channel interferer (802.11g)",
+        scenario=ScenarioSpec(interferers=(InterfererSpec(kind="cci"),)),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("mcs_name", values=tuple(mcs_names)),
+                SweepAxis("sir_db", span=sir_range_db),
+            )
+        ),
+        series_label="{mcs} {receiver}",
+        notes=(
+            "interferer occupies the same 802.11g subcarriers, clear channel assessment off",
+        ),
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -24,18 +60,7 @@ def run(
     n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with a single co-channel interferer."""
-    profile = profile or default_profile()
-    sir_values = sir_axis(sir_range_db[0], sir_range_db[1], profile.n_sir_points)
-    return psr_vs_sir(
-        figure="Figure 11",
-        title="PSR vs SIR, single co-channel interferer (802.11g)",
-        scenario_factory=partial(cci_scenario, payload_length=profile.payload_length),
-        mcs_names=mcs_names,
-        sir_values_db=sir_values,
-        profile=profile,
-        notes=["interferer occupies the same 802.11g subcarriers, clear channel assessment off"],
-        n_workers=n_workers,
-    )
+    return run_experiment_spec(build_spec(mcs_names, sir_range_db), profile, n_workers=n_workers)
 
 
 def main() -> None:

@@ -1,20 +1,56 @@
 """Figure 12 — packet success rate vs SIR with two co-channel interferers.
 
-Both interferers share the sender's channel and split the interference power;
-the number of affected subcarriers does not grow (unlike the two-interferer
-ACI case), so the curves change little relative to Figure 11 — which is
-exactly the paper's observation.
+Both interferers share the sender's channel and split the interference power
+(the spec layer's shared-SIR rule); the number of affected subcarriers does
+not grow (unlike the two-interferer ACI case), so the curves change little
+relative to Figure 11 — which is exactly the paper's observation.
+
+The figure is one declarative :class:`~repro.api.ExperimentSpec` (``SPEC``)
+run through the :func:`~repro.api.run_experiment_spec` facade.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET, cci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile, PAPER_MCS_SET
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import psr_vs_sir, sir_axis
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "build_spec", "run", "main"]
+
+
+def build_spec(
+    mcs_names: tuple[str, ...] = PAPER_MCS_SET,
+    sir_range_db: tuple[float, float] = (-5.0, 25.0),
+) -> ExperimentSpec:
+    """The canonical Figure 12 spec (optionally with a custom MCS/SIR grid)."""
+    return ExperimentSpec(
+        name="fig12",
+        figure="Figure 12",
+        title="PSR vs SIR, two co-channel interferers (802.11g)",
+        scenario=ScenarioSpec(
+            interferers=(InterfererSpec(kind="cci"), InterfererSpec(kind="cci"))
+        ),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("mcs_name", values=tuple(mcs_names)),
+                SweepAxis("sir_db", span=sir_range_db),
+            )
+        ),
+        series_label="{mcs} {receiver}",
+        notes=("two equal-power co-channel interferers; SIR counts their combined power",),
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -24,20 +60,7 @@ def run(
     n_workers: int | None = None,
 ) -> FigureResult:
     """Packet success rate vs SIR with two co-channel interferers."""
-    profile = profile or default_profile()
-    sir_values = sir_axis(sir_range_db[0], sir_range_db[1], profile.n_sir_points)
-    return psr_vs_sir(
-        figure="Figure 12",
-        title="PSR vs SIR, two co-channel interferers (802.11g)",
-        scenario_factory=partial(
-            cci_scenario, payload_length=profile.payload_length, n_interferers=2
-        ),
-        mcs_names=mcs_names,
-        sir_values_db=sir_values,
-        profile=profile,
-        notes=["two equal-power co-channel interferers; SIR counts their combined power"],
-        n_workers=n_workers,
-    )
+    return run_experiment_spec(build_spec(mcs_names, sir_range_db), profile, n_workers=n_workers)
 
 
 def main() -> None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api import ExperimentSpec, register_analysis, run_experiment_spec
 from repro.experiments.config import ExperimentProfile, default_profile
 from repro.experiments.results import FigureResult
 from repro.experiments.sweeps import execute_points
@@ -30,6 +31,8 @@ from repro.network.neighbors import DEFAULT_THRESHOLD_DBM, NeighborAnalysis, cou
 from repro.utils.rng import child_rng
 
 __all__ = [
+    "SPEC",
+    "build_spec",
     "run",
     "run_analyses",
     "realization_rngs",
@@ -121,18 +124,29 @@ def run_analyses(
     }
 
 
-def run(
-    profile: ExperimentProfile | None = None, n_workers: int | None = None
+@register_analysis("fig13-neighbor-cdf")
+def _neighbor_cdf_analysis(
+    profile: ExperimentProfile,
+    n_workers: int | None = None,
+    threshold_dbm: float = DEFAULT_THRESHOLD_DBM,
+    tolerance_gain_db: float = CPRECYCLE_TOLERANCE_GAIN_DB,
+    n_realizations: int = 10,
 ) -> FigureResult:
-    """CDF of interfering neighbours per access point, standard vs CPRecycle."""
-    analyses = run_analyses(profile, n_workers=n_workers)
+    """Registered analysis runner behind the Figure 13 spec."""
+    analyses = run_analyses(
+        profile,
+        threshold_dbm=threshold_dbm,
+        tolerance_gain_db=tolerance_gain_db,
+        n_realizations=n_realizations,
+        n_workers=n_workers,
+    )
     max_count = int(max(analysis.counts.max() for analysis in analyses.values()))
     support = list(range(max_count + 1))
     series = {}
     for analysis in analyses.values():
         cdf = [(analysis.counts <= value).mean() for value in support]
         series[analysis.label] = [float(value) for value in cdf]
-    result = FigureResult(
+    return FigureResult(
         figure="Figure 13",
         title="CDF of interfering neighbours per access point (synthetic office deployment)",
         x_label="Number of Interfering Neighbors",
@@ -140,12 +154,37 @@ def run(
         y_label="CDF",
         series=series,
         notes=[
-            f"CPRecycle threshold raised by {CPRECYCLE_TOLERANCE_GAIN_DB:g} dB (from Fig. 11)",
+            f"CPRecycle threshold raised by {tolerance_gain_db:g} dB (from Fig. 11)",
             f"80th percentile neighbours: standard={analyses['standard'].percentile80:.0f}, "
             f"cprecycle={analyses['cprecycle'].percentile80:.0f}",
         ],
     )
-    return result
+
+
+def build_spec() -> ExperimentSpec:
+    """The canonical Figure 13 spec."""
+    return ExperimentSpec(
+        name="fig13",
+        figure="Figure 13",
+        title="CDF of interfering neighbours per access point (synthetic office deployment)",
+        kind="analysis",
+        analysis="fig13-neighbor-cdf",
+        params={
+            "threshold_dbm": DEFAULT_THRESHOLD_DBM,
+            "tolerance_gain_db": CPRECYCLE_TOLERANCE_GAIN_DB,
+            "n_realizations": 10,
+        },
+    )
+
+
+SPEC = build_spec()
+
+
+def run(
+    profile: ExperimentProfile | None = None, n_workers: int | None = None
+) -> FigureResult:
+    """CDF of interfering neighbours per access point, standard vs CPRecycle."""
+    return run_experiment_spec(SPEC, profile, n_workers=n_workers)
 
 
 def main() -> None:

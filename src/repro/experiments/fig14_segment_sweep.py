@@ -7,25 +7,63 @@ benefits saturate once roughly 60 % of the cyclic prefix is used, and at mild
 interference 20 % is already enough — so CPRecycle degrades gracefully on
 computation-limited devices and in high-delay-spread environments.
 
-The (SIR x segment-fraction) grid runs as independent sweep points through
-the shared execution layer (``SweepPoint.n_segments`` carries the receiver's
-segment budget), so ``--workers``/``--engine`` and the persistent point cache
-apply exactly as in the SIR-sweep figures.
+The figure is one declarative :class:`~repro.api.ExperimentSpec`: the
+``segment_fraction`` sweep axis resolves each fraction into the receiver's
+segment budget (``max(1, round(fraction * cp_length))``) and the x-axis is
+rendered as a percentage of the cyclic prefix via ``x_transform``.  Every
+(SIR x fraction) grid cell is an independent sweep point on the shared
+execution layer, so ``--workers``/``--engine`` and the persistent point
+cache apply exactly as in the SIR-sweep figures.
 """
 
 from __future__ import annotations
 
-from functools import partial
-
-from repro.experiments.config import ExperimentProfile, aci_scenario, default_profile
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.experiments.config import ExperimentProfile
 from repro.experiments.results import FigureResult
-from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
 
-__all__ = ["run", "main"]
+__all__ = ["SPEC", "build_spec", "run", "main"]
 
 MCS_NAME = "16qam-1/2"
 #: Fractions of the cyclic prefix used as FFT segments.
 SEGMENT_FRACTIONS: tuple[float, ...] = (0.025, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def build_spec(
+    sir_values_db: tuple[float, ...] = (-10.0, -20.0, -30.0),
+    segment_fractions: tuple[float, ...] = SEGMENT_FRACTIONS,
+    engine: str | None = None,
+) -> ExperimentSpec:
+    """The canonical Figure 14 spec (optionally with a custom grid)."""
+    return ExperimentSpec(
+        name="fig14",
+        figure="Figure 14",
+        title=f"PSR vs number of FFT segments ({MCS_NAME}, single ACI interferer)",
+        scenario=ScenarioSpec(mcs_name=MCS_NAME, interferers=(InterfererSpec(kind="aci"),)),
+        receivers=(ReceiverSpec("cprecycle"),),
+        sweep=SweepSpec(
+            axes=(
+                SweepAxis("sir_db", values=tuple(sir_values_db)),
+                SweepAxis("segment_fraction", values=tuple(segment_fractions)),
+            )
+        ),
+        series_label="SIR {sir_db:g} dB",
+        x_label="Number of FFT Segments (% of CP)",
+        x_transform="segment_percent_of_cp",
+        notes=("one FFT segment is equivalent to the standard OFDM receiver",),
+        engine=engine,
+    )
+
+
+SPEC = build_spec()
 
 
 def run(
@@ -36,40 +74,8 @@ def run(
     engine: str | None = None,
 ) -> FigureResult:
     """Packet success rate vs number of FFT segments (as % of the CP)."""
-    profile = profile or default_profile()
-    # The CP length depends only on the allocation geometry, not the SIR, so
-    # one probe scenario fixes the x axis for every grid cell.
-    cp_length = aci_scenario(
-        MCS_NAME, sir_db=sir_values_db[0], payload_length=profile.payload_length
-    ).allocation.cp_length
-    segment_counts = [max(1, int(round(fraction * cp_length))) for fraction in segment_fractions]
-    x_values = [round(100.0 * count / cp_length, 1) for count in segment_counts]
-    points = [
-        SweepPoint(
-            scenario_factory=partial(aci_scenario, payload_length=profile.payload_length),
-            mcs_name=MCS_NAME,
-            sir_db=sir_db,
-            receiver_names=("cprecycle",),
-            n_packets=profile.n_packets,
-            seed=profile.seed,
-            engine=engine,
-            n_segments=n_segments,
-        )
-        for sir_db in sir_values_db
-        for n_segments in segment_counts
-    ]
-    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
-
-    series: dict[str, list[float]] = {}
-    for point, outcome in zip(points, outcomes):
-        series.setdefault(f"SIR {point.sir_db:g} dB", []).append(outcome["cprecycle"])
-    return FigureResult(
-        figure="Figure 14",
-        title=f"PSR vs number of FFT segments ({MCS_NAME}, single ACI interferer)",
-        x_label="Number of FFT Segments (% of CP)",
-        x_values=x_values,
-        series=series,
-        notes=["one FFT segment is equivalent to the standard OFDM receiver"],
+    return run_experiment_spec(
+        build_spec(sir_values_db, segment_fractions, engine=engine), profile, n_workers=n_workers
     )
 
 

@@ -30,17 +30,24 @@ _R = TypeVar("_R")
 
 
 def resolve_workers(n_workers: int | None = None) -> int:
-    """Resolve the worker count: explicit argument, ``REPRO_WORKERS``, else 1."""
+    """Resolve the worker count: explicit argument, ``REPRO_WORKERS``, else 1.
+
+    Zero or negative counts are rejected with an error naming the source
+    (the argument or the environment variable), so a typo fails fast instead
+    of silently serialising or hanging a pool.
+    """
+    source = "worker count"
     if n_workers is None:
         raw = os.environ.get("REPRO_WORKERS", "").strip()
         if not raw:
             return 1
+        source = "REPRO_WORKERS"
         try:
             n_workers = int(raw)
         except ValueError as error:
             raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from error
     if n_workers < 1:
-        raise ValueError(f"worker count must be at least 1, got {n_workers}")
+        raise ValueError(f"{source} must be at least 1, got {n_workers}")
     return n_workers
 
 

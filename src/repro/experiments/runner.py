@@ -1,9 +1,12 @@
 """Command-line entry point regenerating the paper's tables and figures.
 
-Every experiment runs through the shared sweep-execution layer
-(:mod:`repro.experiments.sweeps`), so ``--workers`` and ``--engine`` apply
-uniformly to all of them, and results can be persisted as reloadable JSON
-artifacts (:mod:`repro.experiments.store`).
+Every builtin experiment is a declarative :class:`repro.api.ExperimentSpec`
+(``BUILTIN_SPECS``) executed through the
+:func:`repro.api.run_experiment_spec` facade on the shared sweep-execution
+layer, so ``--workers`` and ``--engine`` apply uniformly to all of them,
+results persist as reloadable JSON artifacts keyed by profile/engine/spec
+hash (:mod:`repro.experiments.store`), and custom scenarios run from a spec
+file without any new figure module.
 
 Usage::
 
@@ -18,6 +21,11 @@ Usage::
                                           # resume an interrupted run: completed
                                           # sweep points are read from the point
                                           # cache under results/.cache/
+    cprecycle-experiments fig8 --dump-spec > my.json
+                                          # export a builtin figure as a
+                                          # self-contained spec JSON
+    cprecycle-experiments --spec my.json --workers 2 --out results
+                                          # run an edited / hand-written spec
 """
 
 from __future__ import annotations
@@ -25,8 +33,10 @@ from __future__ import annotations
 import argparse
 import os
 from collections.abc import Callable
+from dataclasses import replace
 from pathlib import Path
 
+from repro.api import ExperimentSpec, SpecError, run_experiment_spec, spec_hash
 from repro.experiments import (
     fig04_segments,
     fig05_naive,
@@ -42,11 +52,13 @@ from repro.experiments import (
 )
 from repro.experiments.config import FULL_PROFILE, QUICK_PROFILE, ExperimentProfile
 from repro.experiments.link import default_engine
+from repro.experiments.parallel import resolve_workers
 from repro.experiments.results import format_csv, format_table
 from repro.experiments.store import CACHE_ENV_VAR, ResultStore
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "BUILTIN_SPECS", "builtin_spec", "run_experiment", "main"]
 
+#: Legacy per-figure entry points (kept for library callers and tests).
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "table1": table01_cp.run_isi_free_analysis,
     "fig4": fig04_segments.run,
@@ -61,17 +73,32 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "fig14": fig14_segment_sweep.run,
 }
 
-_NO_PROFILE_ARG = {"table1"}
+#: The canonical declarative spec of every builtin experiment.
+BUILTIN_SPECS: dict[str, Callable[[], ExperimentSpec]] = {
+    "table1": table01_cp.build_spec,
+    "fig4": fig04_segments.build_spec,
+    "fig5": fig05_naive.build_spec,
+    "fig6": fig06_kde.build_spec,
+    "fig8": fig08_aci_single.build_spec,
+    "fig9": fig09_aci_two.build_spec,
+    "fig10": fig10_guardband.build_spec,
+    "fig11": fig11_cci_single.build_spec,
+    "fig12": fig12_cci_two.build_spec,
+    "fig13": fig13_network.build_spec,
+    "fig14": fig14_segment_sweep.build_spec,
+}
+
+
+def builtin_spec(name: str) -> ExperimentSpec:
+    """The canonical :class:`ExperimentSpec` of one builtin experiment."""
+    if name not in BUILTIN_SPECS:
+        raise ValueError(f"unknown experiment {name!r}; valid: {sorted(BUILTIN_SPECS)}")
+    return BUILTIN_SPECS[name]()
 
 
 def run_experiment(name: str, profile: ExperimentProfile):
-    """Run one named experiment and return its result object."""
-    if name not in EXPERIMENTS:
-        raise ValueError(f"unknown experiment {name!r}; valid: {sorted(EXPERIMENTS)}")
-    runner = EXPERIMENTS[name]
-    if name in _NO_PROFILE_ARG:
-        return runner()
-    return runner(profile)
+    """Run one named builtin experiment (through its spec) and return the result."""
+    return run_experiment_spec(builtin_spec(name), profile)
 
 
 _FORMATTERS = {
@@ -87,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        default=list(EXPERIMENTS),
+        default=None,
         help=f"experiments to run (default: all). Choices: {', '.join(EXPERIMENTS)}",
     )
     parser.add_argument(
@@ -112,12 +139,26 @@ def main(argv: list[str] | None = None) -> int:
         "(per-packet/per-symbol verification fallback)",
     )
     parser.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="run a declarative ExperimentSpec JSON file instead of builtin "
+        "experiments (author one from scratch or start from --dump-spec)",
+    )
+    parser.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the named builtin experiment as a self-contained spec JSON "
+        "(resolved against the selected profile) and exit without running",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
         metavar="DIR",
         help="write one reloadable <experiment>.json artifact per experiment "
-        "into DIR (keyed by profile/engine/config hash)",
+        "into DIR (keyed by profile/engine/spec hash)",
     )
     parser.add_argument(
         "--format",
@@ -134,6 +175,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+
+    # Fail fast on malformed worker/engine knobs (--workers 0,
+    # REPRO_ENGINE=fsat, REPRO_WORKERS=0) instead of erroring deep inside
+    # the first sweep; an explicit CLI flag shadows the corresponding
+    # environment variable, so the env value is only checked when it is
+    # the one that will be consumed.
+    try:
+        if args.engine is None:
+            default_engine()
+        resolve_workers(args.workers)
+    except ValueError as error:
+        parser.error(str(error))
+
+    if args.dump_spec:
+        if args.spec is not None:
+            parser.error("--dump-spec exports a builtin experiment; it cannot follow --spec")
+        if not args.experiments or len(args.experiments) != 1:
+            parser.error("--dump-spec needs exactly one experiment name (e.g. fig8)")
+        try:
+            spec = builtin_spec(args.experiments[0]).resolve(profile)
+        except ValueError as error:
+            parser.error(str(error))
+        if args.engine is not None and spec.kind == "psr":
+            spec = replace(spec, engine=args.engine)
+        print(spec.to_json())
+        return 0
+
+    spec_file: ExperimentSpec | None = None
+    if args.spec is not None:
+        if args.experiments:
+            parser.error("--spec runs a spec file; don't pass experiment names as well")
+        try:
+            spec_file = ExperimentSpec.from_json(args.spec.read_text())
+        except OSError as error:
+            parser.error(f"cannot read spec file {args.spec}: {error}")
+        except SpecError as error:
+            parser.error(f"invalid spec file {args.spec}: {error}")
+        if args.engine is not None and spec_file.kind == "psr":
+            # An explicit CLI flag beats the spec's pinned engine (per-point
+            # engine fields would otherwise override the environment).
+            # Analysis specs never touch the link engine and cannot pin one.
+            spec_file = replace(spec_file, engine=args.engine)
+
+    names = args.experiments or list(EXPERIMENTS)
     out_dir: Path | None = args.out
     if args.resume and out_dir is None:
         out_dir = Path("results")
@@ -143,8 +228,6 @@ def main(argv: list[str] | None = None) -> int:
     # silently switched to this invocation's engine, worker count or cache.
     overrides: dict[str, str] = {}
     if args.workers is not None:
-        if args.workers < 1:
-            parser.error("--workers must be at least 1")
         overrides["REPRO_WORKERS"] = str(args.workers)
     if args.engine is not None:
         overrides["REPRO_ENGINE"] = args.engine
@@ -153,13 +236,28 @@ def main(argv: list[str] | None = None) -> int:
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
     store = ResultStore(out_dir) if out_dir is not None else None
+
+    def emit(name: str, spec: ExperimentSpec) -> None:
+        result = run_experiment_spec(spec, profile)
+        print(_FORMATTERS[args.format](result))
+        print()
+        if store is not None:
+            # A spec that pins its own engine wins over the environment at
+            # every sweep point; record what actually ran.
+            store.save(
+                name,
+                result,
+                profile=profile,
+                engine=spec.engine if spec.engine is not None else default_engine(),
+                spec_hash=spec_hash(spec.resolve(profile)),
+            )
+
     try:
-        for name in args.experiments:
-            result = run_experiment(name, profile)
-            print(_FORMATTERS[args.format](result))
-            print()
-            if store is not None:
-                store.save(name, result, profile=profile, engine=default_engine())
+        if spec_file is not None:
+            emit(spec_file.name, spec_file)
+        else:
+            for name in names:
+                emit(name, builtin_spec(name))
     finally:
         for key, value in saved.items():
             if value is None:

@@ -101,7 +101,16 @@ class ResultStore:
         self.root = Path(root)
 
     def path_for(self, name: str) -> Path:
-        """Artifact path of one experiment."""
+        """Artifact path of one experiment.
+
+        ``name`` must be a single path component — anything else would
+        escape (or crash inside) the store directory.
+        """
+        if not name or Path(name).name != name:
+            raise ValueError(
+                f"experiment name {name!r} is not a valid artifact name "
+                "(it must be a single path component)"
+            )
         return self.root / f"{name}.json"
 
     def save(
@@ -111,25 +120,32 @@ class ResultStore:
         profile: Any = None,
         engine: str | None = None,
         extra: dict[str, Any] | None = None,
+        spec_hash: str | None = None,
     ) -> Path:
         """Write the artifact for ``name`` and return its path.
 
         ``profile`` is the :class:`ExperimentProfile` (or ``None`` for static
         analyses); the artifact records its fields plus a content hash of
         (experiment, profile, engine) so a reloaded artifact identifies the
-        run that produced it.
+        run that produced it.  ``spec_hash`` — the content hash of the
+        resolved :class:`repro.api.ExperimentSpec` that produced the result —
+        is recorded and folded into the config hash when provided, so two
+        artifacts under the same name but from different scenario specs are
+        distinguishable.
         """
         config = (
             dataclasses.asdict(profile)
             if dataclasses.is_dataclass(profile) and not isinstance(profile, type)
             else None
         )
+        key_parts = [name, profile, engine] + ([spec_hash] if spec_hash is not None else [])
         record = {
             "schema_version": STORE_SCHEMA_VERSION,
             "experiment": name,
             "profile": getattr(profile, "name", None),
             "engine": engine,
-            "config_hash": config_hash(name, profile, engine),
+            "config_hash": config_hash(*key_parts),
+            "spec_hash": spec_hash,
             "config": config,
             "created_unix": round(time.time(), 3),
             "result": result.to_dict(),

@@ -1,11 +1,10 @@
 """Shared sweep-execution layer for the experiment harness.
 
 Every experiment decomposes into independently-executable *sweep points*:
-(MCS, SIR) pairs for the packet-success-rate figures, (SIR, guard-band) and
-(SIR, segment-count) grid cells for Figs. 10/14, per-SIR analysis tasks for
-Figs. 4/6, Monte-Carlo building realizations for Fig. 13 and per-standard
-rows for Table 1.  :func:`execute_points` is the single execution funnel all
-of them go through:
+packet-success-rate grid cells for the PSR figures, per-SIR analysis tasks
+for Figs. 4/6, Monte-Carlo building realizations for Fig. 13 and
+per-standard rows for Table 1.  :func:`execute_points` is the single
+execution funnel all of them go through:
 
 * points dispatch via :func:`repro.experiments.parallel.parallel_map` —
   serial by default, across a process pool when ``n_workers`` (or
@@ -15,31 +14,35 @@ of them go through:
   hash of the task, see :mod:`repro.experiments.store`) so a re-run with the
   same configuration skips finished points and an interrupted run resumes.
 
-Task objects must be picklable for the pool to engage (frozen dataclasses of
-primitives and :func:`functools.partial` objects over module-level functions,
-as the figure modules provide) and task functions must return
-JSON-serialisable outcomes so a cached outcome is bit-identical to a fresh
-one.  All randomness must derive from seeds carried inside the task, making
-every outcome independent of which worker (or run) executes it.
+A packet-success-rate point is a :class:`SweepPoint`: a declarative
+:class:`repro.api.specs.ScenarioSpec` plus the receiver set as
+:class:`repro.api.specs.ReceiverSpec` entries.  Specs are frozen
+dataclasses of primitives, so points are picklable by construction (no
+``functools.partial`` gymnastics) and hash stably across processes for the
+point cache.  Task functions must return JSON-serialisable outcomes so a
+cached outcome is bit-identical to a fresh one, and all randomness must
+derive from seeds carried inside the task, making every outcome independent
+of which worker (or run) executes it.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.channel.scenario import Scenario
-from repro.experiments.config import ExperimentProfile, build_receivers
 from repro.experiments.link import default_engine, packet_success_rate
 from repro.experiments.parallel import parallel_map, parallel_map_chunked
-from repro.experiments.results import FigureResult
 from repro.experiments.store import CACHE_ENV_VAR, PointCache, stable_key
 
-__all__ = ["execute_points", "psr_vs_sir", "sir_axis", "SweepPoint", "run_sweep_point"]
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from repro.api.specs import ReceiverSpec, ScenarioSpec
+
+__all__ = ["execute_points", "sir_axis", "SweepPoint", "run_sweep_point"]
 
 
 def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
@@ -110,26 +113,24 @@ def execute_points(fn, tasks, n_workers: int | None = None) -> list:
 
 
 # --------------------------------------------------------------------------- #
-# Packet-success-rate sweeps                                                  #
+# Packet-success-rate sweep points                                            #
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class SweepPoint:
     """One independently-executable packet-success-rate sweep point.
 
-    ``scenario_factory(mcs_name, sir_db)`` builds the point's scenario; the
-    grid dimension beyond (MCS, SIR) — guard band, segment count, interferer
-    count — is folded into the factory via :func:`functools.partial`, keeping
-    the point picklable for the process pool.
+    ``scenario`` is a declarative :class:`repro.api.specs.ScenarioSpec`;
+    the receiver set travels as :class:`repro.api.specs.ReceiverSpec`
+    entries resolved through the receiver registry at execution time.  Both
+    are frozen dataclasses of primitives, so the point pickles into pool
+    workers and content-hashes identically in every process.
     """
 
-    scenario_factory: Callable[[str, float], Scenario]
-    mcs_name: str
-    sir_db: float
-    receiver_names: tuple[str, ...]
+    scenario: "ScenarioSpec"
+    receivers: tuple["ReceiverSpec", ...]
     n_packets: int
     seed: int
     engine: str | None = field(default=None)
-    n_segments: int | None = field(default=None)
 
 
 def run_sweep_point(point: SweepPoint) -> dict[str, float]:
@@ -139,74 +140,13 @@ def run_sweep_point(point: SweepPoint) -> dict[str, float]:
     from ``point.seed``, making the result independent of which worker (or
     order) executes it.
     """
-    scenario = point.scenario_factory(point.mcs_name, point.sir_db)
-    receivers = build_receivers(
-        scenario.allocation, point.receiver_names, n_segments=point.n_segments
-    )
+    from repro.api.registry import build_receiver
+
+    scenario = point.scenario.build()
+    receivers = {
+        spec.name: build_receiver(spec, scenario.allocation) for spec in point.receivers
+    }
     stats = packet_success_rate(
         scenario, receivers, point.n_packets, seed=point.seed, engine=point.engine
     )
-    return {name: stats[name].success_percent for name in point.receiver_names}
-
-
-def psr_vs_sir(
-    figure: str,
-    title: str,
-    scenario_factory: Callable[[str, float], Scenario],
-    mcs_names: tuple[str, ...],
-    sir_values_db: list[float],
-    profile: ExperimentProfile,
-    receiver_names: tuple[str, ...] = ("standard", "cprecycle"),
-    notes: list[str] | None = None,
-    n_workers: int | None = None,
-    engine: str | None = None,
-) -> FigureResult:
-    """Packet success rate versus SIR for several MCS modes and receivers.
-
-    ``scenario_factory(mcs_name, sir_db)`` builds the scenario of one sweep
-    point; each (MCS, receiver) pair becomes one series of the figure, named
-    the way the paper labels its curves ("QPSK (1/2) With CPRecycle", ...).
-    Points run through :func:`execute_points`; results are assembled in
-    deterministic point order whatever the execution order was.  ``engine``
-    picks the link engine per point (``None``: the ``REPRO_ENGINE`` default).
-    """
-    points = [
-        SweepPoint(
-            scenario_factory=scenario_factory,
-            mcs_name=mcs_name,
-            sir_db=sir_db,
-            receiver_names=receiver_names,
-            n_packets=profile.n_packets,
-            seed=profile.seed,
-            engine=engine,
-        )
-        for mcs_name in mcs_names
-        for sir_db in sir_values_db
-    ]
-    outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
-
-    series: dict[str, list[float]] = {}
-    for point, outcome in zip(points, outcomes):
-        for receiver_name in receiver_names:
-            label = _series_label(point.mcs_name, receiver_name)
-            series.setdefault(label, []).append(outcome[receiver_name])
-    return FigureResult(
-        figure=figure,
-        title=title,
-        x_label="Signal to Interference ratio (dB)",
-        x_values=list(sir_values_db),
-        series=series,
-        notes=notes or [],
-    )
-
-
-def _series_label(mcs_name: str, receiver_name: str) -> str:
-    modulation, rate = mcs_name.split("-")
-    pretty_mcs = f"{modulation.upper()} ({rate})"
-    pretty_receiver = {
-        "standard": "Without CPRecycle",
-        "cprecycle": "With CPRecycle",
-        "oracle": "Oracle",
-        "naive": "Naive decoder",
-    }.get(receiver_name, receiver_name)
-    return f"{pretty_mcs} {pretty_receiver}"
+    return {name: stats[name].success_percent for name in receivers}

@@ -1,0 +1,401 @@
+"""Tests for the spec execution facade, the receiver registry and the CLI.
+
+The bit-identity class reconstructs the pre-refactor execution path from
+the primitives it was built on (``aci_scenario``/``cci_scenario`` +
+``build_receivers`` + ``packet_success_rate``) and asserts the spec-driven
+figures reproduce it exactly, on both engines and for any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    ExperimentSpec,
+    InterfererSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SpecError,
+    SweepAxis,
+    SweepSpec,
+    build_receiver,
+    register_receiver,
+    resolve_analysis,
+    run_experiment_spec,
+)
+from repro.experiments import config as expcfg
+from repro.experiments import (
+    fig04_segments,
+    fig08_aci_single,
+    fig10_guardband,
+    fig12_cci_two,
+    fig14_segment_sweep,
+    runner,
+)
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.link import default_engine, packet_success_rate
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.results import FigureResult
+from repro.experiments.store import ResultStore
+from repro.experiments.sweeps import sir_axis
+from repro.phy.subcarriers import dot11g_allocation
+from repro.receiver.standard import StandardOfdmReceiver
+
+TINY = ExperimentProfile(name="tiny", n_packets=2, payload_length=30, n_sir_points=2)
+
+
+def _legacy_point(scenario, receiver_names, profile, n_segments=None, engine=None):
+    """One sweep point exactly as the pre-refactor figure modules ran it."""
+    receivers = expcfg.build_receivers(scenario.allocation, receiver_names, n_segments=n_segments)
+    stats = packet_success_rate(
+        scenario, receivers, profile.n_packets, seed=profile.seed, engine=engine
+    )
+    return {name: stats[name].success_percent for name in receiver_names}
+
+
+class TestBitIdentity:
+    """Spec-driven figures == the hard-coded pre-refactor path."""
+
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    def test_fig8_matches_legacy_path(self, engine, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        sirs = sir_axis(-24.0, -12.0, TINY.n_sir_points)
+        result = fig08_aci_single.run(TINY, mcs_names=("qpsk-1/2",), sir_range_db=(-24.0, -12.0))
+        for index, sir in enumerate(sirs):
+            legacy = _legacy_point(
+                expcfg.aci_scenario("qpsk-1/2", sir, payload_length=TINY.payload_length),
+                ("standard", "cprecycle"),
+                TINY,
+            )
+            assert result.series["QPSK (1/2) Without CPRecycle"][index] == legacy["standard"]
+            assert result.series["QPSK (1/2) With CPRecycle"][index] == legacy["cprecycle"]
+
+    def test_fig10_matches_legacy_path(self):
+        guards = (0, 64)
+        result = fig10_guardband.run(TINY, sir_values_db=(-10.0,), guard_band_subcarriers=guards)
+        for index, guard in enumerate(guards):
+            legacy = _legacy_point(
+                expcfg.aci_scenario(
+                    "16qam-1/2", -10.0, payload_length=TINY.payload_length,
+                    guard_subcarriers=guard,
+                ),
+                ("standard", "cprecycle"),
+                TINY,
+            )
+            assert result.series["SIR -10 dB, With CPRecycle"][index] == legacy["cprecycle"]
+            assert result.series["SIR -10 dB, Without CPRecycle"][index] == legacy["standard"]
+
+    def test_fig12_matches_legacy_path(self):
+        sirs = sir_axis(5.0, 20.0, TINY.n_sir_points)
+        result = fig12_cci_two.run(TINY, mcs_names=("qpsk-1/2",), sir_range_db=(5.0, 20.0))
+        for index, sir in enumerate(sirs):
+            legacy = _legacy_point(
+                expcfg.cci_scenario(
+                    "qpsk-1/2", sir, payload_length=TINY.payload_length, n_interferers=2
+                ),
+                ("standard", "cprecycle"),
+                TINY,
+            )
+            assert result.series["QPSK (1/2) With CPRecycle"][index] == legacy["cprecycle"]
+
+    def test_fig14_segment_budget_matches_legacy_path(self):
+        result = fig14_segment_sweep.run(TINY, sir_values_db=(-16.0,), segment_fractions=(0.1,))
+        cp_length = expcfg.aci_scenario(
+            "16qam-1/2", -16.0, payload_length=TINY.payload_length
+        ).allocation.cp_length
+        n_segments = max(1, int(round(0.1 * cp_length)))
+        legacy = _legacy_point(
+            expcfg.aci_scenario("16qam-1/2", -16.0, payload_length=TINY.payload_length),
+            ("cprecycle",),
+            TINY,
+            n_segments=n_segments,
+        )
+        assert result.series["SIR -16 dB"][0] == legacy["cprecycle"]
+
+    def test_fig8_workers_invariance(self):
+        kwargs = dict(mcs_names=("qpsk-1/2",), sir_range_db=(-20.0, -12.0))
+        assert fig08_aci_single.run(TINY, n_workers=2, **kwargs) == fig08_aci_single.run(
+            TINY, n_workers=1, **kwargs
+        )
+
+
+class TestReceiverRegistry:
+    def test_builtin_set(self):
+        from repro.api import available_receivers
+
+        assert {"standard", "cprecycle", "naive", "oracle"} <= set(available_receivers())
+
+    def test_unknown_receiver_is_actionable(self):
+        with pytest.raises(SpecError, match="register_receiver"):
+            build_receiver(ReceiverSpec("mmse"), dot11g_allocation())
+
+    def test_options_reach_the_builder(self):
+        receiver = build_receiver(
+            ReceiverSpec("cprecycle", n_segments=4, options={"model_scope": "pooled"}),
+            dot11g_allocation(),
+        )
+        assert receiver.config.max_segments == 4
+        assert receiver.config.model_scope == "pooled"
+
+    def test_bad_options_are_actionable(self):
+        with pytest.raises(SpecError, match="rejected options"):
+            build_receiver(
+                ReceiverSpec("cprecycle", options={"segment_count": 4}), dot11g_allocation()
+            )
+
+    def test_optionless_plugin_bug_is_not_blamed_on_options(self):
+        @register_receiver("test-buggy", overwrite=True)
+        def _build(allocation, n_segments):
+            return None + 1  # a genuine plugin bug
+
+        try:
+            with pytest.raises(TypeError):
+                build_receiver(ReceiverSpec("test-buggy"), dot11g_allocation())
+        finally:
+            from repro.api import registry
+
+            registry._RECEIVER_BUILDERS.pop("test-buggy", None)
+
+    def test_register_and_duplicate(self):
+        @register_receiver("test-passthrough")
+        def _build(allocation, n_segments, **options):
+            return StandardOfdmReceiver(**options)
+
+        try:
+            receiver = build_receiver(ReceiverSpec("test-passthrough"), dot11g_allocation())
+            assert isinstance(receiver, StandardOfdmReceiver)
+            with pytest.raises(ValueError, match="already registered"):
+                register_receiver("test-passthrough")(lambda *a, **k: None)
+        finally:
+            from repro.api import registry
+
+            registry._RECEIVER_BUILDERS.pop("test-passthrough", None)
+
+    def test_custom_receiver_runs_through_a_spec(self):
+        @register_receiver("test-standard-clone", overwrite=True)
+        def _build(allocation, n_segments, **options):
+            return StandardOfdmReceiver(**options)
+
+        try:
+            spec = ExperimentSpec(
+                name="clone",
+                figure="T",
+                title="t",
+                scenario=ScenarioSpec(interferers=(InterfererSpec(kind="cci"),)),
+                receivers=(ReceiverSpec("standard"), ReceiverSpec("test-standard-clone")),
+                sweep=SweepSpec(axes=(SweepAxis("sir_db", values=(15.0,)),)),
+            )
+            result = run_experiment_spec(spec, TINY)
+            assert result.series["test-standard-clone"] == result.series["Without CPRecycle"]
+        finally:
+            from repro.api import registry
+
+            registry._RECEIVER_BUILDERS.pop("test-standard-clone", None)
+
+
+class TestInterfererAxisSweep:
+    def test_interferer_axis_runs_with_alias_series_label(self):
+        spec = ExperimentSpec(
+            name="cci-power",
+            figure="T",
+            title="t",
+            scenario=ScenarioSpec(
+                payload_length=30, interferers=(InterfererSpec(kind="cci"),)
+            ),
+            receivers=(ReceiverSpec("standard"),),
+            sweep=SweepSpec(
+                axes=(
+                    SweepAxis("interferers[0].sir_db", values=(4.0, 16.0)),
+                    SweepAxis("snr_db", values=(20.0, 30.0)),
+                )
+            ),
+            series_label="CCI at {interferer0_sir_db:g} dB",
+            n_packets=2,
+        )
+        result = run_experiment_spec(spec, TINY)
+        assert set(result.series) == {"CCI at 4 dB", "CCI at 16 dB"}
+        assert result.x_values == [20.0, 30.0]
+
+    def test_store_rejects_path_escaping_names(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="path component"):
+            store.path_for("../evil")
+
+
+class TestAnalysisSpecs:
+    def test_fig4_spec_dispatches_to_segment_profile(self):
+        via_spec = run_experiment_spec(fig04_segments.SPEC, TINY)
+        direct = fig04_segments.run_segment_profile(TINY)
+        assert via_spec == direct
+
+    def test_unknown_analysis_is_actionable(self):
+        with pytest.raises(SpecError, match="register_analysis"):
+            resolve_analysis("fig99-nope")
+
+    def test_analysis_spec_from_json_resolves_in_fresh_registry(self):
+        spec = ExperimentSpec.from_json(fig04_segments.SPEC.to_json())
+        assert isinstance(run_experiment_spec(spec, TINY), FigureResult)
+
+    def test_analysis_spec_execution_fields_take_effect(self):
+        from dataclasses import replace
+
+        # An edited seed in a dumped analysis spec must change the result
+        # (the analysis draws its randomness from the profile seed).
+        default = run_experiment_spec(fig04_segments.SPEC, TINY)
+        reseeded = run_experiment_spec(replace(fig04_segments.SPEC, seed=99), TINY)
+        assert default != reseeded
+        assert reseeded == fig04_segments.run_segment_profile(
+            replace(TINY, seed=99)
+        )
+
+
+class TestMixedScenarioEndToEnd:
+    """A scenario inexpressible before this layer: >= 2 interferers mixing
+    ACI and CCI, run from a JSON spec via the CLI, persisted and reloaded."""
+
+    def _mixed_payload(self):
+        return {
+            "schema_version": 1,
+            "name": "mixed-aci-cci",
+            "figure": "Custom",
+            "title": "PSR vs SIR, ACI + CCI mix",
+            "kind": "psr",
+            "scenario": {
+                "mcs_name": "qpsk-1/2",
+                "payload_length": 30,
+                "interferers": [
+                    {"kind": "aci", "guard_subcarriers": 2, "side": "upper"},
+                    {"kind": "cci", "sir_db": 12.0, "mcs_name": "16qam-1/2"},
+                ],
+            },
+            "receivers": [{"name": "standard"}, {"name": "cprecycle"}],
+            "sweep": {"axes": [{"field": "sir_db", "values": [-20.0, -10.0]}]},
+            "n_packets": 2,
+            "seed": 7,
+        }
+
+    def test_cli_spec_run_persists_reloadable_artifact(self, tmp_path):
+        spec_path = tmp_path / "mixed.json"
+        spec_path.write_text(json.dumps(self._mixed_payload()))
+        out_dir = tmp_path / "results"
+        assert (
+            runner.main(["--spec", str(spec_path), "--workers", "2", "--out", str(out_dir)]) == 0
+        )
+        record = ResultStore(out_dir).load_record("mixed-aci-cci")
+        assert record["spec_hash"]
+        result = ResultStore(out_dir).load("mixed-aci-cci")
+        assert result.x_values == [-20.0, -10.0]
+        assert set(result.series) == {"Without CPRecycle", "With CPRecycle"}
+
+    def test_spec_run_matches_in_process_facade(self, tmp_path):
+        spec = ExperimentSpec.from_dict(self._mixed_payload())
+        serial = run_experiment_spec(spec, TINY)
+        pooled = run_experiment_spec(spec, TINY, n_workers=2)
+        assert serial == pooled
+
+
+class TestCli:
+    def test_dump_spec_round_trips_through_run(self, tmp_path, capsys):
+        assert runner.main(["fig8", "--dump-spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for axis in payload["sweep"]["axes"]:
+            if axis["field"] == "sir_db":
+                axis["values"] = [-20.0, -12.0]
+        payload["name"] = "fig8-custom"
+        payload["n_packets"] = 2
+        spec_path = tmp_path / "custom.json"
+        spec_path.write_text(json.dumps(payload))
+        out_dir = tmp_path / "results"
+        assert runner.main(["--spec", str(spec_path), "--out", str(out_dir)]) == 0
+        result = ResultStore(out_dir).load("fig8-custom")
+        assert result.x_values == [-20.0, -12.0]
+
+    def test_spec_pinned_engine_is_recorded_and_cli_flag_wins(self, tmp_path):
+        spec = ExperimentSpec(
+            name="pinned",
+            figure="T",
+            title="t",
+            scenario=ScenarioSpec(
+                payload_length=30, interferers=(InterfererSpec(kind="cci"),)
+            ),
+            receivers=(ReceiverSpec("standard"),),
+            sweep=SweepSpec(axes=(SweepAxis("sir_db", values=(15.0,)),)),
+            n_packets=2,
+            engine="reference",
+        )
+        spec_path = tmp_path / "pinned.json"
+        spec_path.write_text(spec.to_json())
+        out_dir = tmp_path / "results"
+        assert runner.main(["--spec", str(spec_path), "--out", str(out_dir)]) == 0
+        assert ResultStore(out_dir).load_record("pinned")["engine"] == "reference"
+        # An explicit CLI flag beats the spec's pinned engine.
+        assert (
+            runner.main(["--spec", str(spec_path), "--engine", "fast", "--out", str(out_dir)])
+            == 0
+        )
+        assert ResultStore(out_dir).load_record("pinned")["engine"] == "fast"
+
+    def test_dump_spec_needs_one_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--dump-spec"])
+        with pytest.raises(SystemExit):
+            runner.main(["fig8", "fig9", "--dump-spec"])
+
+    def test_spec_excludes_experiment_names(self, tmp_path):
+        spec_path = tmp_path / "s.json"
+        spec_path.write_text(runner.builtin_spec("fig8").to_json())
+        with pytest.raises(SystemExit):
+            runner.main(["fig9", "--spec", str(spec_path)])
+
+    def test_invalid_spec_file_is_actionable(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit):
+            runner.main(["--spec", str(bad)])
+        assert "invalid spec" in capsys.readouterr().err
+
+    def test_builtin_spec_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            runner.builtin_spec("fig99")
+
+    def test_run_experiment_via_specs(self):
+        result = runner.run_experiment("fig13", TINY)
+        assert isinstance(result, FigureResult)
+        with pytest.raises(ValueError):
+            runner.run_experiment("fig99", TINY)
+
+
+class TestExecutionKnobValidation:
+    """--workers / REPRO_WORKERS / REPRO_ENGINE fail fast and name the knob."""
+
+    def test_cli_rejects_non_positive_workers(self):
+        for value in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                runner.main(["fig8", "--workers", value])
+
+    def test_cli_rejects_env_typos_before_running(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_ENGINE", "fsat")
+        with pytest.raises(SystemExit):
+            runner.main(["table1"])
+        assert "REPRO_ENGINE" in capsys.readouterr().err
+        # ...but an explicit --engine flag shadows the env variable entirely.
+        assert runner.main(["table1", "--engine", "fast"]) == 0
+        capsys.readouterr()
+        monkeypatch.delenv("REPRO_ENGINE")
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(SystemExit):
+            runner.main(["table1"])
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_resolve_workers_names_the_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be at least 1"):
+            resolve_workers()
+        monkeypatch.setenv("REPRO_WORKERS", "two")
+        with pytest.raises(ValueError, match="REPRO_WORKERS must be an integer"):
+            resolve_workers()
+
+    def test_default_engine_names_valid_choices(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fsat")
+        with pytest.raises(ValueError, match="'fast' or 'reference'"):
+            default_engine()
