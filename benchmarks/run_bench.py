@@ -17,10 +17,13 @@ Both engines consume identical per-packet RNG streams; the harness asserts
 that they produce identical packet outcomes before reporting a speedup, so a
 benchmark result is also an end-to-end equivalence check.
 
-The ``fig13`` profile is different in kind: it times the Monte-Carlo network
-sweep through the shared sweep-execution layer serial (``reference``) versus
-on a process pool (``fast``) and asserts identical neighbour counts, so the
-newly parallelised experiments are part of the same perf trajectory.
+The network profiles are different in kind: ``fig13`` times the Monte-Carlo
+threshold-mode sweep through the shared sweep-execution layer serial
+(``reference``) versus on a process pool (``fast``) and asserts identical
+neighbour counts; ``fig13-simulated`` does the same for the simulated mode,
+where every AP pair becomes a per-link co-channel scenario decoded through
+the link engine (:mod:`repro.network.links`) — the first workload that runs
+thousands of spec-built links through one sweep.
 
 For every profile a ``BENCH_<profile>.json`` file is written containing the
 wall time per engine, decoded-packets/second, the fast/reference speedup and
@@ -178,13 +181,19 @@ PROFILES: dict[str, BenchProfile] = {
 
 @dataclass(frozen=True)
 class NetworkBenchProfile:
-    """One timed Monte-Carlo sweep workload (no link engine involved).
+    """One timed Monte-Carlo network sweep workload.
 
     Times the same realization set through the shared sweep-execution layer
     twice — serial (reported as ``reference``) and on a process pool
     (reported as ``fast``) — and asserts identical neighbour counts, so the
     record doubles as a serial-vs-parallel equivalence check.  ``n_packets``
     in the emitted record carries the realization count.
+
+    ``mode`` selects the Fig. 13 methodology: ``"threshold"`` counts
+    neighbours from the RSS matrix (no link simulation, so huge deployments
+    are feasible), ``"simulated"`` runs every AP pair's co-channel scenario
+    through the link engine (:mod:`repro.network.links`) and counts
+    neighbours from the simulated packet success rates.
     """
 
     name: str
@@ -194,6 +203,7 @@ class NetworkBenchProfile:
     n_floors: int = 10
     aps_per_floor: int = 50
     seed: int = 2016
+    mode: str = "threshold"
 
 
 NETWORK_PROFILES: dict[str, NetworkBenchProfile] = {
@@ -206,6 +216,22 @@ NETWORK_PROFILES: dict[str, NetworkBenchProfile] = {
             "execution, 'fast' is a 2-worker process pool; n_packets carries "
             "the realization count"
         ),
+    ),
+    "fig13-simulated": NetworkBenchProfile(
+        name="fig13-simulated",
+        description=(
+            "Fig. 13 simulated-mode workload: every AP pair of a 2-floor x "
+            "4-AP office deployment becomes a per-link co-channel scenario "
+            "(56 links per realization, deduplicated onto a 0.5 dB SIR grid) "
+            "decoded by the standard and CPRecycle receivers through the "
+            "shared sweep layer; 'reference' is serial link simulation, "
+            "'fast' is a 2-worker process pool; n_packets carries the "
+            "realization count"
+        ),
+        n_realizations=2,
+        n_floors=2,
+        aps_per_floor=4,
+        mode="simulated",
     ),
 }
 
@@ -302,38 +328,59 @@ def run_network_profile(
 
     ``n_realizations`` overrides the profile's realization count (the
     ``--packets`` flag maps here, realizations being this workload's unit).
+    In simulated mode each realization additionally fans every AP-pair link
+    scenario through the link engine, so the record times the full
+    network-scale link simulation.
     """
+    from repro.api import DeploymentSpec
     from repro.experiments import fig13_network
     from repro.experiments.config import QUICK_PROFILE
-    from repro.network.building import OfficeBuilding
 
     realizations = profile.n_realizations if n_realizations is None else n_realizations
     exp_profile = QUICK_PROFILE.scaled(seed=profile.seed)
-    building = OfficeBuilding(n_floors=profile.n_floors, aps_per_floor=profile.aps_per_floor)
-    modes = (("reference", 1), ("fast", profile.n_workers))
-    # Warm process-wide caches (numpy dispatch, path-loss tables) with a
-    # two-realization pass per mode.  Each timed run_analyses call still
-    # builds its own process pool, so worker spawn cost is deliberately part
-    # of the pooled timing — that is the cost the sweep layer actually pays.
-    for _, workers in modes:
-        fig13_network.run_analyses(
-            exp_profile, building=building, n_realizations=2, n_workers=workers
+    deployment = DeploymentSpec(
+        topology="building",
+        n_floors=profile.n_floors,
+        aps_per_floor=profile.aps_per_floor,
+    )
+
+    def analyse(n_realizations: int, n_workers: int) -> dict:
+        if profile.mode == "simulated":
+            analyses = fig13_network.run_simulated_analyses(
+                exp_profile,
+                deployment,
+                n_realizations=n_realizations,
+                n_workers=n_workers,
+            )
+            return {
+                name: {
+                    "counts": analysis.counts.tolist(),
+                    "channels": list(analysis.channel_estimates),
+                }
+                for name, analysis in analyses.items()
+            }
+        analyses = fig13_network.run_analyses(
+            exp_profile,
+            building=deployment,
+            n_realizations=n_realizations,
+            n_workers=n_workers,
         )
+        return {name: analysis.counts.tolist() for name, analysis in analyses.items()}
+
+    modes = (("reference", 1), ("fast", profile.n_workers))
+    # Warm process-wide caches (numpy dispatch, trellis/interleaver tables)
+    # with a short pass per mode.  Each timed call still builds its own
+    # process pool, so worker spawn cost is deliberately part of the pooled
+    # timing — that is the cost the sweep layer actually pays.
+    for _, workers in modes:
+        analyse(n_realizations=min(2, realizations), n_workers=workers)
     times: dict[str, list[float]] = {mode: [] for mode, _ in modes}
     counts: dict[str, dict] = {}
     for _ in range(reps):
         for mode, workers in modes:
             start = time.perf_counter()
-            analyses = fig13_network.run_analyses(
-                exp_profile,
-                building=building,
-                n_realizations=realizations,
-                n_workers=workers,
-            )
+            counts[mode] = analyse(n_realizations=realizations, n_workers=workers)
             times[mode].append(time.perf_counter() - start)
-            counts[mode] = {
-                name: analysis.counts.tolist() for name, analysis in analyses.items()
-            }
     results = {}
     for mode, _ in modes:
         seconds = min(times[mode])
@@ -342,12 +389,15 @@ def run_network_profile(
             "realizations_per_second": round(realizations / seconds, 2),
         }
     identical = counts["fast"] == counts["reference"]
+    n_aps = profile.n_floors * profile.aps_per_floor
     return {
         "schema_version": SCHEMA_VERSION,
         "profile": profile.name,
         "description": profile.description,
+        "mode": profile.mode,
         "n_packets": realizations,
-        "payload_length": 0,
+        "payload_length": exp_profile.payload_length if profile.mode == "simulated" else 0,
+        "n_links": realizations * n_aps * (n_aps - 1) if profile.mode == "simulated" else None,
         "receivers": ["standard", "cprecycle"],
         "seed": profile.seed,
         "reps": reps,

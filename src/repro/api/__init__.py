@@ -34,15 +34,20 @@ from repro.api.experiment import run_experiment_spec, spec_hash
 from repro.api.registry import (
     available_analyses,
     available_receivers,
+    available_topologies,
+    build_deployment,
     build_receiver,
     register_analysis,
     register_receiver,
+    register_topology,
     resolve_analysis,
+    resolve_topology,
 )
 from repro.api.specs import (
     SPEC_SCHEMA_VERSION,
     AllocationSpec,
     ChannelSpec,
+    DeploymentSpec,
     ExperimentSpec,
     InterfererSpec,
     ReceiverSpec,
@@ -57,6 +62,7 @@ __all__ = [
     "SPEC_SCHEMA_VERSION",
     "AllocationSpec",
     "ChannelSpec",
+    "DeploymentSpec",
     "ExperimentSpec",
     "InterfererSpec",
     "ReceiverSpec",
@@ -66,11 +72,15 @@ __all__ = [
     "SweepSpec",
     "available_analyses",
     "available_receivers",
+    "available_topologies",
     "axis_placeholder",
+    "build_deployment",
     "build_receiver",
     "register_analysis",
     "register_receiver",
+    "register_topology",
     "resolve_analysis",
+    "resolve_topology",
     "run_experiment_spec",
     "spec_hash",
 ]

@@ -1,4 +1,4 @@
-"""Plugin registries for receivers and analysis runners.
+"""Plugin registries for receivers, analysis runners and network topologies.
 
 The receiver registry replaces the per-figure receiver wiring: every
 experiment resolves its receivers by name through
@@ -24,6 +24,15 @@ The analysis registry plays the same role for the paper's non-PSR figures
 (4, 6, 13, Table 1): an ``ExperimentSpec(kind="analysis")`` names its
 runner, and :func:`resolve_analysis` imports the builtin module on demand
 so a spec loaded from JSON in a fresh process still resolves.
+
+The topology registry resolves :class:`repro.api.DeploymentSpec` placement
+rules into runnable :class:`repro.network.building.Deployment` objects
+(builtins: ``building``, ``grid``, ``random``); register additional network
+layouts with :func:`register_topology`::
+
+    @register_topology("ring")
+    def _build_ring(spec):
+        return MyRingDeployment(n_aps=spec.n_access_points, ...)
 """
 
 from __future__ import annotations
@@ -32,11 +41,12 @@ import importlib
 import inspect
 from collections.abc import Callable
 
-from repro.api.specs import ReceiverSpec, SpecError
+from repro.api.specs import DeploymentSpec, ReceiverSpec, SpecError
 from repro.core.config import CPRecycleConfig
 from repro.core.naive import NaiveSegmentReceiver
 from repro.core.oracle import OracleSegmentReceiver
 from repro.core.receiver import CPRecycleReceiver
+from repro.network.building import Deployment, OfficeBuilding, UniformRandomDeployment
 from repro.phy.subcarriers import OfdmAllocation
 from repro.receiver.base import OfdmReceiverBase
 from repro.receiver.standard import StandardOfdmReceiver
@@ -48,6 +58,10 @@ __all__ = [
     "register_analysis",
     "available_analyses",
     "resolve_analysis",
+    "register_topology",
+    "available_topologies",
+    "resolve_topology",
+    "build_deployment",
 ]
 
 _RECEIVER_BUILDERS: dict[str, Callable[..., OfdmReceiverBase]] = {}
@@ -147,6 +161,7 @@ _BUILTIN_ANALYSIS_MODULES: dict[str, str] = {
     "fig4-segment-profile": "repro.experiments.fig04_segments",
     "fig6-deviation-cdf": "repro.experiments.fig06_kde",
     "fig13-neighbor-cdf": "repro.experiments.fig13_network",
+    "fig13-neighbor-cdf-simulated": "repro.experiments.fig13_network",
     "table1-isi-free": "repro.experiments.table01_cp",
 }
 
@@ -186,3 +201,85 @@ def resolve_analysis(name: str) -> Callable:
             "(add your own with repro.api.registry.register_analysis)"
         )
     return runner
+
+
+# --------------------------------------------------------------------------- #
+# Network topologies (the Fig. 13 deployment layouts)                         #
+# --------------------------------------------------------------------------- #
+_TOPOLOGY_BUILDERS: dict[str, Callable[[DeploymentSpec], Deployment]] = {}
+
+
+def register_topology(name: str, *, overwrite: bool = False) -> Callable:
+    """Register a deployment-topology builder under ``name`` (decorator).
+
+    The builder is called as ``builder(spec)`` with the
+    :class:`~repro.api.specs.DeploymentSpec` and must return a
+    :class:`repro.network.building.Deployment` (anything with ``deploy`` /
+    ``pairwise_rss_dbm`` / ``n_access_points``).  Re-registering an existing
+    name raises unless ``overwrite=True``.
+    """
+
+    def decorator(builder: Callable[[DeploymentSpec], Deployment]) -> Callable:
+        if not overwrite and name in _TOPOLOGY_BUILDERS:
+            raise ValueError(
+                f"topology {name!r} is already registered; pass overwrite=True to replace it"
+            )
+        _TOPOLOGY_BUILDERS[name] = builder
+        return builder
+
+    return decorator
+
+
+def available_topologies() -> list[str]:
+    """Names of all registered deployment topologies."""
+    return sorted(_TOPOLOGY_BUILDERS)
+
+
+def resolve_topology(name: str) -> Callable[[DeploymentSpec], Deployment]:
+    """Look up a topology builder by name."""
+    builder = _TOPOLOGY_BUILDERS.get(name)
+    if builder is None:
+        raise SpecError(
+            f"unknown topology {name!r}; registered: {available_topologies()} "
+            "(add your own with repro.api.registry.register_topology)"
+        )
+    return builder
+
+
+def build_deployment(spec: DeploymentSpec) -> Deployment:
+    """Construct the deployment a :class:`DeploymentSpec` describes."""
+    return resolve_topology(spec.topology)(spec)
+
+
+def _deployment_geometry(spec: DeploymentSpec) -> dict:
+    return dict(
+        n_floors=spec.n_floors,
+        aps_per_floor=spec.aps_per_floor,
+        floor_width_m=spec.floor_width_m,
+        floor_depth_m=spec.floor_depth_m,
+        floor_height_m=spec.floor_height_m,
+        tx_power_dbm=spec.tx_power_dbm,
+        pathloss=spec.pathloss_model(),
+    )
+
+
+@register_topology("building")
+def _build_building_topology(spec: DeploymentSpec) -> Deployment:
+    jitter = 3.0 if spec.placement_jitter_m is None else spec.placement_jitter_m
+    return OfficeBuilding(placement_jitter_m=jitter, **_deployment_geometry(spec))
+
+
+@register_topology("grid")
+def _build_grid_topology(spec: DeploymentSpec) -> Deployment:
+    jitter = 0.0 if spec.placement_jitter_m is None else spec.placement_jitter_m
+    return OfficeBuilding(placement_jitter_m=jitter, **_deployment_geometry(spec))
+
+
+@register_topology("random")
+def _build_random_topology(spec: DeploymentSpec) -> Deployment:
+    if spec.placement_jitter_m is not None:
+        raise SpecError(
+            "the 'random' topology draws uniform positions; placement_jitter_m "
+            "does not apply (leave it null)"
+        )
+    return UniformRandomDeployment(**_deployment_geometry(spec))

@@ -65,6 +65,7 @@ __all__ = [
     "AllocationSpec",
     "InterfererSpec",
     "ScenarioSpec",
+    "DeploymentSpec",
     "ReceiverSpec",
     "SweepAxis",
     "SweepSpec",
@@ -476,6 +477,101 @@ class ScenarioSpec:
         if data.get("interferers") is not None:
             data["interferers"] = tuple(data["interferers"])
         return cls(**data)
+
+
+# --------------------------------------------------------------------------- #
+# Network deployments                                                         #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Declarative multi-floor Wi-Fi deployment (the network-level scenario).
+
+    ``topology`` names a placement rule in the topology registry
+    (:func:`repro.api.registry.register_topology`; builtins: ``"building"``
+    — the paper's per-floor grid with placement jitter, ``"grid"`` — the
+    same grid without jitter, ``"random"`` — uniform-random placement).
+    The remaining fields set the deployment size, footprint and the indoor
+    path-loss model; AP density follows from ``n_floors x aps_per_floor``
+    over the footprint.  ``placement_jitter_m`` of ``None`` uses the
+    topology's default (3 m for ``building``, 0 for ``grid``); the
+    ``random`` topology draws positions uniformly and rejects it.
+
+    :meth:`build` resolves the topology into a runnable
+    :class:`repro.network.building.Deployment`.
+    """
+
+    topology: str = "building"
+    n_floors: int = 5
+    aps_per_floor: int = 8
+    floor_width_m: float = 80.0
+    floor_depth_m: float = 40.0
+    floor_height_m: float = 4.0
+    tx_power_dbm: float = 20.0
+    placement_jitter_m: float | None = None
+    reference_loss_db: float = 47.0
+    path_loss_exponent: float = 3.0
+    floor_loss_db: float = 15.0
+    shadowing_sigma_db: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.topology or not isinstance(self.topology, str):
+            raise SpecError(f"deployment topology must be a non-empty string, got {self.topology!r}")
+        if self.n_floors < 1 or self.aps_per_floor < 1:
+            raise SpecError(
+                f"deployment needs n_floors >= 1 and aps_per_floor >= 1, got "
+                f"{self.n_floors} x {self.aps_per_floor}"
+            )
+        for name in ("floor_width_m", "floor_depth_m", "floor_height_m"):
+            if getattr(self, name) <= 0:
+                raise SpecError(f"deployment {name} must be > 0, got {getattr(self, name)}")
+        if self.placement_jitter_m is not None and self.placement_jitter_m < 0:
+            raise SpecError(
+                f"deployment placement_jitter_m must be >= 0, got {self.placement_jitter_m}"
+            )
+        if self.path_loss_exponent <= 0:
+            raise SpecError(
+                f"deployment path_loss_exponent must be > 0, got {self.path_loss_exponent}"
+            )
+        for name in ("floor_loss_db", "shadowing_sigma_db"):
+            if getattr(self, name) < 0:
+                raise SpecError(f"deployment {name} must be >= 0, got {getattr(self, name)}")
+
+    @property
+    def n_access_points(self) -> int:
+        """Total number of access points the spec describes."""
+        return self.n_floors * self.aps_per_floor
+
+    def pathloss_model(self):
+        """The indoor path-loss model the spec's parameters describe."""
+        # Imported lazily: repro.network.links consumes this module, so a
+        # module-level import of repro.network here would be circular.
+        from repro.network.pathloss import IndoorPathLossModel
+
+        return IndoorPathLossModel(
+            reference_loss_db=self.reference_loss_db,
+            path_loss_exponent=self.path_loss_exponent,
+            floor_loss_db=self.floor_loss_db,
+            shadowing_sigma_db=self.shadowing_sigma_db,
+        )
+
+    def build(self):
+        """Resolve the topology registry into a runnable deployment.
+
+        Resolution is deliberately lazy (unlike the rest of the spec's eager
+        validation) so that topologies registered after the spec was
+        constructed — e.g. by a plugin imported while loading a JSON spec —
+        still resolve, mirroring :class:`ReceiverSpec`.
+        """
+        from repro.api.registry import resolve_topology
+
+        return resolve_topology(self.topology)(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any], path: str = "deployment") -> "DeploymentSpec":
+        return cls(**_from_payload(cls, payload, path))
 
 
 # --------------------------------------------------------------------------- #

@@ -26,6 +26,12 @@ Usage::
                                           # self-contained spec JSON
     cprecycle-experiments --spec my.json --workers 2 --out results
                                           # run an edited / hand-written spec
+    cprecycle-experiments fig13 --mode simulated --workers 8
+                                          # network-scale per-link simulation:
+                                          # every AP pair becomes a co-channel
+                                          # scenario instead of the 15 dB
+                                          # threshold shift (heavier; see
+                                          # repro.network.links)
 """
 
 from __future__ import annotations
@@ -88,6 +94,12 @@ BUILTIN_SPECS: dict[str, Callable[[], ExperimentSpec]] = {
     "fig14": fig14_segment_sweep.build_spec,
 }
 
+#: The simulated-mode Figure 13 variant is a first-class builtin spec, but
+#: deliberately not part of EXPERIMENTS: a default "run everything" stays
+#: threshold-fast, while `fig13 --mode simulated` (or naming fig13-simulated
+#: explicitly) opts into the per-link network simulation.
+BUILTIN_SPECS["fig13-simulated"] = lambda: fig13_network.build_spec(mode="simulated")
+
 
 def builtin_spec(name: str) -> ExperimentSpec:
     """The canonical :class:`ExperimentSpec` of one builtin experiment."""
@@ -139,6 +151,14 @@ def main(argv: list[str] | None = None) -> int:
         "(per-packet/per-symbol verification fallback)",
     )
     parser.add_argument(
+        "--mode",
+        choices=("threshold", "simulated"),
+        default=None,
+        help="fig13 neighbour-count mode: 'threshold' (the paper's fixed 15 dB "
+        "shift, the default) or 'simulated' (per-link co-channel scenarios "
+        "through the sweep layer; heavier)",
+    )
+    parser.add_argument(
         "--spec",
         type=Path,
         default=None,
@@ -175,6 +195,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+
+    if args.mode is not None:
+        # --mode selects the fig13 variant; rewriting the experiment name up
+        # front lets every later stage (--dump-spec, artifacts, the spec
+        # hash) see the variant as a first-class experiment.
+        if args.spec is not None:
+            parser.error("--mode selects a fig13 variant; it cannot follow --spec")
+        if "fig13" not in (args.experiments or []):
+            parser.error("--mode applies to fig13; name it explicitly (e.g. fig13 --mode simulated)")
+        if args.mode == "simulated":
+            args.experiments = [
+                "fig13-simulated" if name == "fig13" else name for name in args.experiments
+            ]
 
     # Fail fast on malformed worker/engine knobs (--workers 0,
     # REPRO_ENGINE=fsat, REPRO_WORKERS=0) instead of erroring deep inside

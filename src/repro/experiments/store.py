@@ -32,6 +32,8 @@ import time
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro.experiments.results import FigureResult
 
 __all__ = ["stable_key", "config_hash", "ResultStore", "PointCache"]
@@ -50,11 +52,21 @@ CACHE_ENV_VAR = "REPRO_RESULT_CACHE"
 def _canonical(obj: Any) -> Any:
     """Reduce ``obj`` to a JSON-serialisable structure that is stable across
     interpreter runs (no ``id()``-dependent or address-dependent content)."""
+    # Numpy scalars must hash like the equivalent Python scalar: tasks built
+    # from numpy matrices (e.g. per-link SIRs in repro.network.links) would
+    # otherwise key on numpy's version-dependent repr and never match the
+    # same logical point built from plain floats.
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
-    if isinstance(obj, float):
-        # repr is the shortest round-trip representation: exact and stable.
-        return ["float", repr(obj)]
+    if isinstance(obj, (float, np.floating)):
+        # repr of the plain float is the shortest round-trip representation:
+        # exact and stable (np.floating's own repr is "np.float64(...)" on
+        # numpy >= 2, and np.float32 does not even subclass float).
+        return ["float", repr(float(obj))]
     if isinstance(obj, (list, tuple)):
         return ["seq", [_canonical(item) for item in obj]]
     if isinstance(obj, dict):

@@ -2,8 +2,9 @@
 
 Every experiment decomposes into independently-executable *sweep points*:
 packet-success-rate grid cells for the PSR figures, per-SIR analysis tasks
-for Figs. 4/6, Monte-Carlo building realizations for Fig. 13 and
-per-standard rows for Table 1.  :func:`execute_points` is the single
+for Figs. 4/6, Monte-Carlo building realizations (and, in simulated mode,
+per-AP-pair link scenarios — see :mod:`repro.network.links`) for Fig. 13
+and per-standard rows for Table 1.  :func:`execute_points` is the single
 execution funnel all of them go through:
 
 * points dispatch via :func:`repro.experiments.parallel.parallel_map` —

@@ -1,6 +1,22 @@
-"""Network-level analysis: office deployment, path loss, interfering neighbours."""
+"""Network-level analysis: deployments, path loss, neighbours, link simulation."""
 
-from repro.network.building import AccessPoint, OfficeBuilding
+from repro.network.building import (
+    AccessPoint,
+    Deployment,
+    OfficeBuilding,
+    UniformRandomDeployment,
+)
+from repro.network.links import (
+    LinkSimulation,
+    SimulatedNeighborAnalysis,
+    channel_capacity_estimate,
+    effective_neighbor_counts,
+    link_scenario,
+    link_sir_db,
+    psr_conflict_graph,
+    quantize_sir_db,
+    simulate_links,
+)
 from repro.network.neighbors import (
     DEFAULT_THRESHOLD_DBM,
     NeighborAnalysis,
@@ -13,11 +29,22 @@ from repro.network.pathloss import IndoorPathLossModel, received_power_dbm
 __all__ = [
     "AccessPoint",
     "DEFAULT_THRESHOLD_DBM",
+    "Deployment",
     "IndoorPathLossModel",
+    "LinkSimulation",
     "NeighborAnalysis",
     "OfficeBuilding",
+    "SimulatedNeighborAnalysis",
+    "UniformRandomDeployment",
+    "channel_capacity_estimate",
     "count_interfering_neighbors",
+    "effective_neighbor_counts",
     "interference_graph",
+    "link_scenario",
+    "link_sir_db",
     "neighbor_cdf",
+    "psr_conflict_graph",
+    "quantize_sir_db",
     "received_power_dbm",
+    "simulate_links",
 ]

@@ -1,11 +1,21 @@
-"""Synthetic office-building Wi-Fi deployment (substitute for the paper's survey).
+"""Synthetic Wi-Fi deployments (substitute for the paper's building survey).
 
 The paper measures AP-to-AP signal strengths in a five-floor office building
 with 40 access points ("mostly the same place for access points in each
-floor").  This module generates an equivalent synthetic deployment: a
-configurable number of floors, the same AP layout replicated per floor with
-small placement jitter, and pairwise received-power computation through the
-indoor path-loss model.
+floor").  This module generates equivalent synthetic deployments behind one
+shared :class:`Deployment` base:
+
+* :class:`OfficeBuilding` — the paper's layout: a per-floor regular grid
+  replicated on every floor with small placement jitter (set
+  ``placement_jitter_m=0`` for an exact regular grid);
+* :class:`UniformRandomDeployment` — access points placed uniformly at
+  random over each floor's footprint (unplanned/chaotic deployments).
+
+Every deployment computes pairwise received power through the indoor
+path-loss model (:mod:`repro.network.pathloss`).  The declarative face of
+this module is :class:`repro.api.DeploymentSpec`, which resolves a topology
+name through the registry (:func:`repro.api.registry.register_topology`)
+into one of these classes.
 """
 
 from __future__ import annotations
@@ -17,7 +27,7 @@ import numpy as np
 from repro.network.pathloss import IndoorPathLossModel
 from repro.utils.rng import ensure_rng
 
-__all__ = ["AccessPoint", "OfficeBuilding"]
+__all__ = ["AccessPoint", "Deployment", "OfficeBuilding", "UniformRandomDeployment"]
 
 
 @dataclass(frozen=True)
@@ -30,9 +40,25 @@ class AccessPoint:
     floor: int
 
 
+def _axis_fractions(n_points: int) -> np.ndarray:
+    """Fractional grid coordinates along one floor axis, centred in [0, 1].
+
+    A single row or column sits at the middle of the span (0.5) — a
+    one-point ``np.linspace(0.1, 0.9, 1)`` would pin it at 0.1, i.e. at 10%
+    of the floor instead of its centre.
+    """
+    if n_points == 1:
+        return np.array([0.5])
+    return np.linspace(0.1, 0.9, n_points)
+
+
 @dataclass(frozen=True)
-class OfficeBuilding:
-    """A multi-floor office deployment of Wi-Fi access points.
+class Deployment:
+    """A multi-floor deployment of Wi-Fi access points (base class).
+
+    Subclasses implement :meth:`floor_positions` (the per-floor placement
+    rule); placement, pairwise received power and the size accounting are
+    shared.
 
     Parameters
     ----------
@@ -42,9 +68,6 @@ class OfficeBuilding:
         Footprint of each floor.
     tx_power_dbm:
         AP transmit power.
-    placement_jitter_m:
-        Standard deviation of the per-floor placement jitter ("mostly the same
-        place for access points in each floor").
     """
 
     n_floors: int = 5
@@ -53,40 +76,36 @@ class OfficeBuilding:
     floor_depth_m: float = 40.0
     floor_height_m: float = 4.0
     tx_power_dbm: float = 20.0
-    placement_jitter_m: float = 3.0
     pathloss: IndoorPathLossModel = field(default_factory=IndoorPathLossModel)
 
     def __post_init__(self) -> None:
         if self.n_floors < 1 or self.aps_per_floor < 1:
-            raise ValueError("the building needs at least one floor and one AP per floor")
+            raise ValueError("the deployment needs at least one floor and one AP per floor")
+        if self.floor_width_m <= 0 or self.floor_depth_m <= 0:
+            raise ValueError("the floor footprint must have positive width and depth")
 
     @property
     def n_access_points(self) -> int:
-        """Total number of access points in the building."""
+        """Total number of access points in the deployment."""
         return self.n_floors * self.aps_per_floor
+
+    def floor_positions(self, rng: np.random.Generator) -> list[tuple[float, float]]:
+        """Positions of one floor's access points (before footprint clipping)."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ #
     def deploy(self, rng: int | np.random.Generator | None = None) -> list[AccessPoint]:
-        """Place the access points (same grid per floor, with jitter)."""
+        """Place the access points floor by floor."""
         rng = ensure_rng(rng)
-        # Grid layout per floor: as square as possible.
-        n_cols = int(np.ceil(np.sqrt(self.aps_per_floor * self.floor_width_m / self.floor_depth_m)))
-        n_cols = max(n_cols, 1)
-        n_rows = int(np.ceil(self.aps_per_floor / n_cols))
-        xs = np.linspace(0.1, 0.9, n_cols) * self.floor_width_m
-        ys = np.linspace(0.1, 0.9, n_rows) * self.floor_depth_m
-        base_positions = [(x, y) for y in ys for x in xs][: self.aps_per_floor]
-
         access_points: list[AccessPoint] = []
         identifier = 0
         for floor in range(self.n_floors):
-            for x, y in base_positions:
-                jitter = rng.normal(0.0, self.placement_jitter_m, size=2)
+            for x, y in self.floor_positions(rng):
                 access_points.append(
                     AccessPoint(
                         identifier=identifier,
-                        x=float(np.clip(x + jitter[0], 0.0, self.floor_width_m)),
-                        y=float(np.clip(y + jitter[1], 0.0, self.floor_depth_m)),
+                        x=float(np.clip(x, 0.0, self.floor_width_m)),
+                        y=float(np.clip(y, 0.0, self.floor_depth_m)),
                         floor=floor,
                     )
                 )
@@ -122,3 +141,48 @@ class OfficeBuilding:
         rss = self.tx_power_dbm - loss
         np.fill_diagonal(rss, np.inf)
         return rss
+
+
+@dataclass(frozen=True)
+class OfficeBuilding(Deployment):
+    """The paper's office deployment: the same grid per floor, with jitter.
+
+    ``placement_jitter_m`` is the standard deviation of the per-AP placement
+    jitter ("mostly the same place for access points in each floor"); zero
+    gives an exact regular grid (the ``grid`` topology).
+    """
+
+    placement_jitter_m: float = 3.0
+
+    def base_positions(self) -> list[tuple[float, float]]:
+        """The jitter-free per-floor grid layout: as square as possible.
+
+        A grid wider than the AP count shrinks to it, and single-row/column
+        layouts centre on the floor span, so degenerate shapes (one AP, one
+        column, a truncated last row) stay inside — and centred on — the
+        footprint.
+        """
+        n_cols = int(np.ceil(np.sqrt(self.aps_per_floor * self.floor_width_m / self.floor_depth_m)))
+        n_cols = min(max(n_cols, 1), self.aps_per_floor)
+        n_rows = int(np.ceil(self.aps_per_floor / n_cols))
+        xs = _axis_fractions(n_cols) * self.floor_width_m
+        ys = _axis_fractions(n_rows) * self.floor_depth_m
+        return [(x, y) for y in ys for x in xs][: self.aps_per_floor]
+
+    def floor_positions(self, rng: np.random.Generator) -> list[tuple[float, float]]:
+        positions = []
+        for x, y in self.base_positions():
+            jitter = rng.normal(0.0, self.placement_jitter_m, size=2)
+            positions.append((x + jitter[0], y + jitter[1]))
+        return positions
+
+
+@dataclass(frozen=True)
+class UniformRandomDeployment(Deployment):
+    """Access points placed uniformly at random over each floor's footprint."""
+
+    def floor_positions(self, rng: np.random.Generator) -> list[tuple[float, float]]:
+        return [
+            (rng.uniform(0.0, self.floor_width_m), rng.uniform(0.0, self.floor_depth_m))
+            for _ in range(self.aps_per_floor)
+        ]

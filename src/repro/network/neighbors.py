@@ -52,15 +52,18 @@ def interference_graph(rss_dbm: np.ndarray, threshold_dbm: float) -> nx.Graph:
 
     The graph view supports network-capacity style analyses (e.g. greedy
     colouring as a proxy for the number of non-conflicting channel slots).
+    The edge set is computed from one symmetric boolean mask rather than a
+    Python double loop, so building the graph stays cheap for deployments
+    far beyond the paper's 40 APs.
     """
     rss = np.asarray(rss_dbm, dtype=float)
+    if rss.ndim != 2 or rss.shape[0] != rss.shape[1]:
+        raise ValueError("rss_dbm must be a square matrix")
     n = rss.shape[0]
+    mask = (rss >= threshold_dbm) | (rss.T >= threshold_dbm)
     graph = nx.Graph()
     graph.add_nodes_from(range(n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            if rss[i, j] >= threshold_dbm or rss[j, i] >= threshold_dbm:
-                graph.add_edge(i, j)
+    graph.add_edges_from((int(i), int(j)) for i, j in np.argwhere(np.triu(mask, k=1)))
     return graph
 
 

@@ -364,6 +364,52 @@ class TestCli:
         with pytest.raises(ValueError):
             runner.run_experiment("fig99", TINY)
 
+    def test_mode_simulated_dumps_the_simulated_fig13_spec(self, capsys):
+        assert runner.main(["fig13", "--mode", "simulated", "--dump-spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig13-simulated"
+        assert payload["analysis"] == "fig13-neighbor-cdf-simulated"
+        assert payload["params"]["deployment"]["topology"] == "building"
+
+    def test_mode_threshold_keeps_the_default_fig13_spec(self, capsys):
+        assert runner.main(["fig13", "--mode", "threshold", "--dump-spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "fig13"
+        assert payload["analysis"] == "fig13-neighbor-cdf"
+
+    def test_mode_requires_fig13(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig8", "--mode", "simulated", "--dump-spec"])
+
+    def test_mode_excludes_spec_file(self, tmp_path):
+        spec_path = tmp_path / "s.json"
+        spec_path.write_text(runner.builtin_spec("fig8").to_json())
+        with pytest.raises(SystemExit):
+            runner.main(["--spec", str(spec_path), "--mode", "simulated"])
+
+    def test_simulated_spec_file_runs_and_artifact_reloads(self, tmp_path, capsys):
+        # The CI smoke in miniature: dump the simulated spec, shrink the
+        # deployment, run it through --spec on 2 workers, reload the artifact.
+        assert runner.main(["fig13", "--mode", "simulated", "--dump-spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        payload["params"]["deployment"].update({"n_floors": 1, "aps_per_floor": 2})
+        payload["params"]["n_realizations"] = 1
+        payload["n_packets"] = 2
+        payload["payload_length"] = 30
+        spec_path = tmp_path / "sim.json"
+        spec_path.write_text(json.dumps(payload))
+        out_dir = tmp_path / "results"
+        assert (
+            runner.main(["--spec", str(spec_path), "--workers", "2", "--out", str(out_dir)])
+            == 0
+        )
+        record = ResultStore(out_dir).load_record("fig13-simulated")
+        assert record["spec_hash"]
+        result = ResultStore(out_dir).load("fig13-simulated")
+        assert set(result.series) == {"Standard Receiver", "CPRecycle"}
+        for series in result.series.values():
+            assert series[-1] == pytest.approx(1.0)
+
 
 class TestExecutionKnobValidation:
     """--workers / REPRO_WORKERS / REPRO_ENGINE fail fast and name the knob."""

@@ -24,6 +24,7 @@ import pytest
 from repro.api import (
     AllocationSpec,
     ChannelSpec,
+    DeploymentSpec,
     ExperimentSpec,
     InterfererSpec,
     ReceiverSpec,
@@ -214,6 +215,56 @@ class TestScenarioSpecBuild:
         assert scenario.interferers[1].allocation == scenario.allocation
         assert scenario.interferers[0].sir_db == -12.0
         assert scenario.interferers[1].sir_db == 10.0
+
+
+class TestDeploymentSpec:
+    """The network-deployment spec: validation, round-trip, hash stability."""
+
+    def test_defaults_describe_the_paper_building(self):
+        spec = DeploymentSpec()
+        assert spec.topology == "building"
+        assert spec.n_access_points == 40
+        model = spec.pathloss_model()
+        assert model.path_loss_exponent == 3.0
+        assert model.floor_loss_db == 15.0
+
+    def test_round_trips_exactly(self):
+        spec = DeploymentSpec(
+            topology="random",
+            n_floors=3,
+            aps_per_floor=12,
+            floor_width_m=120.0,
+            shadowing_sigma_db=4.0,
+        )
+        assert DeploymentSpec.from_dict(spec.to_dict()) == spec
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown field"):
+            DeploymentSpec.from_dict({"topology": "grid", "n_aps": 4})
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(topology=""), "topology"),
+            (dict(n_floors=0), "n_floors"),
+            (dict(aps_per_floor=0), "aps_per_floor"),
+            (dict(floor_width_m=0.0), "floor_width_m"),
+            (dict(floor_depth_m=-1.0), "floor_depth_m"),
+            (dict(placement_jitter_m=-0.5), "placement_jitter_m"),
+            (dict(path_loss_exponent=0.0), "path_loss_exponent"),
+            (dict(shadowing_sigma_db=-1.0), "shadowing_sigma_db"),
+        ],
+    )
+    def test_eager_validation(self, kwargs, match):
+        with pytest.raises(SpecError, match=match):
+            DeploymentSpec(**kwargs)
+
+    def test_hash_is_content_stable(self):
+        a = DeploymentSpec(topology="grid", n_floors=2)
+        b = DeploymentSpec(topology="grid", n_floors=2)
+        assert stable_key(a) == stable_key(b)
+        assert stable_key(a) != stable_key(DeploymentSpec(topology="grid", n_floors=3))
 
 
 class TestValidation:

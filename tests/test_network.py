@@ -4,7 +4,7 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.network.building import OfficeBuilding
+from repro.network.building import OfficeBuilding, UniformRandomDeployment
 from repro.network.neighbors import (
     NeighborAnalysis,
     count_interfering_neighbors,
@@ -79,6 +79,83 @@ class TestBuilding:
     def test_invalid_configuration(self):
         with pytest.raises(ValueError):
             OfficeBuilding(n_floors=0)
+        with pytest.raises(ValueError):
+            OfficeBuilding(floor_width_m=0.0)
+
+    def test_single_column_layout_is_centered(self):
+        # One-column floors used to collapse onto x = 10% of the span
+        # (np.linspace(0.1, 0.9, 1) == [0.1]); they must sit at the middle.
+        building = OfficeBuilding(
+            n_floors=1, aps_per_floor=3, floor_width_m=10.0, floor_depth_m=80.0,
+            placement_jitter_m=0.0,
+        )
+        aps = building.deploy(0)
+        assert all(ap.x == pytest.approx(5.0) for ap in aps)
+        assert len({ap.y for ap in aps}) == 3
+
+    def test_single_row_layout_is_centered(self):
+        building = OfficeBuilding(
+            n_floors=1, aps_per_floor=3, floor_width_m=80.0, floor_depth_m=10.0,
+            placement_jitter_m=0.0,
+        )
+        aps = building.deploy(0)
+        assert all(ap.y == pytest.approx(5.0) for ap in aps)
+        assert len({ap.x for ap in aps}) == 3
+
+    def test_single_ap_sits_at_floor_center(self):
+        building = OfficeBuilding(n_floors=2, aps_per_floor=1, placement_jitter_m=0.0)
+        for ap in building.deploy(0):
+            assert (ap.x, ap.y) == (pytest.approx(40.0), pytest.approx(20.0))
+
+    def test_truncated_grid_keeps_requested_count(self):
+        # 7 APs on a 4x2 grid: the last row is truncated, every floor still
+        # deploys exactly aps_per_floor distinct in-footprint positions.
+        building = OfficeBuilding(n_floors=2, aps_per_floor=7, placement_jitter_m=0.0)
+        aps = building.deploy(0)
+        assert len(aps) == 14
+        floor0 = [(ap.x, ap.y) for ap in aps if ap.floor == 0]
+        assert len(set(floor0)) == 7
+        for ap in aps:
+            assert 0.0 <= ap.x <= building.floor_width_m
+            assert 0.0 <= ap.y <= building.floor_depth_m
+
+    def test_default_layout_unchanged_by_refactor(self):
+        # The paper's 5x8 deployment draws the same jittered positions as the
+        # pre-refactor implementation for the same generator (values pinned
+        # from the original single-class OfficeBuilding at seed 7).
+        aps = OfficeBuilding().deploy(7)
+        assert (aps[0].x, aps[0].y) == (pytest.approx(8.00369, abs=1e-5),
+                                        pytest.approx(4.896237, abs=1e-5))
+        assert (aps[2].x, aps[2].y) == (pytest.approx(49.302654, abs=1e-5),
+                                        pytest.approx(1.02506, abs=1e-5))
+        assert OfficeBuilding().deploy(7) == aps
+
+    def test_rss_reciprocity_up_to_tx_power(self):
+        # Distance, floor penetration and (symmetrised) shadowing are all
+        # reciprocal, and every AP transmits at the same power, so the RSS
+        # matrix itself is symmetric.
+        building = OfficeBuilding()
+        rss = building.pairwise_rss_dbm(building.deploy(4), 4)
+        off_diag = ~np.eye(rss.shape[0], dtype=bool)
+        assert np.allclose(rss[off_diag], rss.T[off_diag])
+
+
+class TestUniformRandomDeployment:
+    def test_positions_within_footprint_and_reproducible(self):
+        deployment = UniformRandomDeployment(n_floors=3, aps_per_floor=5)
+        aps = deployment.deploy(11)
+        assert len(aps) == deployment.n_access_points == 15
+        for ap in aps:
+            assert 0.0 <= ap.x <= deployment.floor_width_m
+            assert 0.0 <= ap.y <= deployment.floor_depth_m
+        assert deployment.deploy(11) == aps
+        assert deployment.deploy(12) != aps
+
+    def test_rss_matrix_shape(self):
+        deployment = UniformRandomDeployment(n_floors=1, aps_per_floor=4)
+        rss = deployment.pairwise_rss_dbm(deployment.deploy(0), 0)
+        assert rss.shape == (4, 4)
+        assert np.all(np.isinf(np.diag(rss)))
 
 
 class TestNeighbors:
@@ -115,6 +192,37 @@ class TestNeighbors:
         assert graph.has_edge(0, 1)
         assert not graph.has_edge(0, 2)
         assert graph.number_of_nodes() == 3
+
+    def test_interference_graph_asymmetric_hearing(self):
+        # One direction above threshold suffices for a conflict edge.
+        rss = np.full((3, 3), -100.0)
+        np.fill_diagonal(rss, np.inf)
+        rss[0, 1] = -70.0  # AP 0 hears AP 1; AP 1 does not hear AP 0
+        graph = interference_graph(rss, -82.0)
+        assert set(graph.edges) == {(0, 1)}
+
+    def test_interference_graph_matches_reference_loop(self):
+        # The vectorised edge construction is equivalent to the original
+        # O(n^2) Python double loop on an arbitrary asymmetric matrix.
+        rng = np.random.default_rng(3)
+        n = 50
+        rss = rng.uniform(-110.0, -50.0, size=(n, n))
+        np.fill_diagonal(rss, np.inf)
+        threshold = -82.0
+        expected = nx.Graph()
+        expected.add_nodes_from(range(n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rss[i, j] >= threshold or rss[j, i] >= threshold:
+                    expected.add_edge(i, j)
+        graph = interference_graph(rss, threshold)
+        assert set(graph.nodes) == set(expected.nodes)
+        assert set(map(frozenset, graph.edges)) == set(map(frozenset, expected.edges))
+        assert not any(i == j for i, j in graph.edges)
+
+    def test_interference_graph_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            interference_graph(np.zeros((2, 3)), -82.0)
 
     def test_analysis_statistics(self):
         analysis = NeighborAnalysis("test", -82.0, np.array([2, 4, 6, 8, 10]))

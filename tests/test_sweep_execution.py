@@ -69,6 +69,15 @@ class TestFig13StreamIndependence:
         b = fig13_network.realization_rngs(2016, 1)[0].normal(size=8)
         assert not np.allclose(a, b)
 
+    def test_no_cross_seed_realization_aliasing(self):
+        # The old derivation keyed child streams on seed + realization, so
+        # realization r of seed s was bit-identical to realization r - 1 of
+        # seed s + 1.  Distinct profile seeds must never share streams.
+        for component in (0, 1):
+            a = fig13_network.realization_rngs(2016, 1)[component].normal(size=16)
+            b = fig13_network.realization_rngs(2017, 0)[component].normal(size=16)
+            assert not np.allclose(a, b)
+
     def test_jitter_and_shadowing_decorrelated_end_to_end(self):
         from repro.network.building import OfficeBuilding
 
