@@ -236,6 +236,150 @@ NETWORK_PROFILES: dict[str, NetworkBenchProfile] = {
 }
 
 
+@dataclass(frozen=True)
+class CampaignBenchProfile:
+    """One adaptive-campaign workload timed against the fixed-budget path.
+
+    ``fast`` is the campaign scheduler (cross-experiment dedup + adaptive
+    Wilson-CI sampling through :mod:`repro.campaigns`), ``reference`` is the
+    same experiment set run standalone with the profile's fixed ``n_packets``
+    per grid cell.  ``identical_decisions`` asserts the adaptive PSR of every
+    point reproduces the fixed-budget estimate within the sum of both paths'
+    Wilson confidence half-widths, and the record carries the packet savings
+    (``packet_savings`` = 1 - adaptive/fixed packets) — the quantity the
+    campaign subsystem exists to maximise.
+    """
+
+    name: str
+    description: str
+    experiments: tuple[str, ...] = ("fig4", "fig11")
+    ci_halfwidth_pct: float = 30.0
+    min_packets: int = 4
+    growth: float = 2.0
+    seed: int = 2016
+
+
+CAMPAIGN_PROFILES: dict[str, CampaignBenchProfile] = {
+    "campaign": CampaignBenchProfile(
+        name="campaign",
+        description=(
+            "Campaign workload: fig4 (analysis) + fig11 (3 MCS x 5 SIR PSR "
+            "grid) on the quick profile; 'fast' is the adaptive campaign "
+            "scheduler (geometric Wilson-CI sampling, deduplicated cells), "
+            "'reference' is the fixed-n_packets standalone path; n_packets "
+            "carries the adaptive packet total and packet_savings the "
+            "fraction of the fixed budget saved"
+        ),
+    ),
+}
+
+
+def run_campaign_profile(profile: CampaignBenchProfile, reps: int = 3) -> dict:
+    """Time one campaign adaptive-vs-fixed and return the result record."""
+    import shutil
+    import tempfile
+
+    from repro.api import CampaignExperiment, CampaignSpec, PrecisionSpec
+    from repro.campaigns import run_campaign, wilson_halfwidth
+    from repro.experiments.config import QUICK_PROFILE
+    from repro.experiments.runner import builtin_spec
+    from repro.api import run_experiment_spec
+
+    exp_profile = QUICK_PROFILE.scaled(seed=profile.seed)
+    spec = CampaignSpec(
+        name="bench-campaign",
+        experiments=tuple(CampaignExperiment(builtin=name) for name in profile.experiments),
+        precision=PrecisionSpec(
+            ci_halfwidth_pct=profile.ci_halfwidth_pct,
+            min_packets=profile.min_packets,
+            growth=profile.growth,
+        ),
+        seed=profile.seed,
+    )
+
+    times: dict[str, list[float]] = {"fast": [], "reference": []}
+    summary = None
+    fixed_results: dict[str, object] = {}
+    for _ in range(reps):
+        # Adaptive path: a fresh workspace per repetition so nothing resumes.
+        workspace = Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+        try:
+            start = time.perf_counter()
+            run = run_campaign(spec, workspace, profile=exp_profile)
+            times["fast"].append(time.perf_counter() - start)
+            summary = run.summary
+        finally:
+            shutil.rmtree(workspace, ignore_errors=True)
+        # Fixed-budget path: the same experiments standalone.
+        start = time.perf_counter()
+        fixed_results = {
+            name: run_experiment_spec(builtin_spec(name), exp_profile)
+            for name in profile.experiments
+        }
+        times["reference"].append(time.perf_counter() - start)
+
+    totals = summary["totals"]
+    # Within-CI reproduction of every fixed-budget PSR point.
+    within_ci = True
+    n_fixed = exp_profile.n_packets
+    for experiment in summary["experiments"]:
+        if experiment["kind"] != "psr":
+            continue
+        fixed_series = fixed_results[experiment["name"]].series
+        for label, columns in experiment["series"].items():
+            for rate, ci, fixed_rate in zip(
+                columns["psr_percent"], columns["ci_halfwidth_pct"], fixed_series[label]
+            ):
+                fixed_ci = 100.0 * wilson_halfwidth(
+                    round(fixed_rate * n_fixed / 100.0), n_fixed
+                )
+                if abs(rate - fixed_rate) > ci + fixed_ci:
+                    within_ci = False
+
+    results = {
+        mode: {
+            "seconds": round(min(samples), 4),
+            "packets": packets,
+            "decoded_packets_per_second": round(packets / min(samples), 2),
+        }
+        for mode, samples, packets in (
+            ("fast", times["fast"], totals["adaptive_packets"]),
+            ("reference", times["reference"], totals["fixed_packets"]),
+        )
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "profile": profile.name,
+        "description": profile.description,
+        "experiments": list(profile.experiments),
+        "ci_halfwidth_pct": profile.ci_halfwidth_pct,
+        "min_packets": profile.min_packets,
+        "growth": profile.growth,
+        "n_packets": totals["adaptive_packets"],
+        "payload_length": exp_profile.payload_length,
+        "receivers": ["standard", "cprecycle"],
+        "seed": profile.seed,
+        "reps": reps,
+        "fast": results["fast"],
+        "reference": results["reference"],
+        "speedup": round(
+            results["reference"]["seconds"] / results["fast"]["seconds"], 2
+        ),
+        "identical_decisions": within_ci,
+        "adaptive_packets": totals["adaptive_packets"],
+        "fixed_packets": totals["fixed_packets"],
+        "packet_savings": totals["packet_savings"],
+        "n_cells": totals["n_cells"],
+        "rounds": totals["rounds"],
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+    }
+
+
 def _build_receivers(profile: BenchProfile, scenario, batched: bool):
     n_segments = (
         scenario.allocation.cp_length if profile.n_segments is None else profile.n_segments
@@ -448,7 +592,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="NAME",
         help="profiles to run (default: all). Choices: "
-        f"{', '.join([*PROFILES, *NETWORK_PROFILES])}",
+        f"{', '.join([*PROFILES, *NETWORK_PROFILES, *CAMPAIGN_PROFILES])}",
     )
     parser.add_argument(
         "--packets",
@@ -481,8 +625,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{len(args.check)} benchmark file(s) well-formed")
         return 1 if problems else 0
 
-    names = args.profiles if args.profiles else [*PROFILES, *NETWORK_PROFILES]
-    valid = set(PROFILES) | set(NETWORK_PROFILES)
+    names = args.profiles if args.profiles else [*PROFILES, *NETWORK_PROFILES, *CAMPAIGN_PROFILES]
+    valid = set(PROFILES) | set(NETWORK_PROFILES) | set(CAMPAIGN_PROFILES)
     unknown = [name for name in names if name not in valid]
     if unknown:
         parser.error(f"unknown profiles {unknown}; valid: {sorted(valid)}")
@@ -494,6 +638,13 @@ def main(argv: list[str] | None = None) -> int:
             record = run_profile(PROFILES[name], n_packets=args.packets, reps=args.reps)
             rate = f"{record['fast']['decoded_packets_per_second']:.1f} pkt/s"
             disagree = "  !! ENGINES DISAGREE"
+        elif name in CAMPAIGN_PROFILES:
+            record = run_campaign_profile(CAMPAIGN_PROFILES[name], reps=args.reps)
+            rate = (
+                f"{record['adaptive_packets']}/{record['fixed_packets']} packets, "
+                f"{100 * record['packet_savings']:.0f}% saved"
+            )
+            disagree = "  !! ADAPTIVE ESTIMATES LEFT THE FIXED-BUDGET CI"
         else:
             record = run_network_profile(
                 NETWORK_PROFILES[name], n_realizations=args.packets, reps=args.reps

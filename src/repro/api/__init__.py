@@ -30,7 +30,18 @@ are picklable and content-hashable so the process pool, the persistent
 point cache and result artifacts all apply unchanged.
 """
 
-from repro.api.experiment import run_experiment_spec, spec_hash
+from repro.api.campaign import (
+    CAMPAIGN_SCHEMA_VERSION,
+    CampaignExperiment,
+    CampaignSpec,
+    PrecisionSpec,
+)
+from repro.api.experiment import (
+    expand_psr_points,
+    run_experiment_spec,
+    series_from_outcomes,
+    spec_hash,
+)
 from repro.api.registry import (
     available_analyses,
     available_receivers,
@@ -59,12 +70,16 @@ from repro.api.specs import (
 )
 
 __all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
     "SPEC_SCHEMA_VERSION",
     "AllocationSpec",
+    "CampaignExperiment",
+    "CampaignSpec",
     "ChannelSpec",
     "DeploymentSpec",
     "ExperimentSpec",
     "InterfererSpec",
+    "PrecisionSpec",
     "ReceiverSpec",
     "ScenarioSpec",
     "SpecError",
@@ -76,6 +91,8 @@ __all__ = [
     "axis_placeholder",
     "build_deployment",
     "build_receiver",
+    "expand_psr_points",
+    "series_from_outcomes",
     "register_analysis",
     "register_receiver",
     "register_topology",

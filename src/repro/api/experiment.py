@@ -39,7 +39,12 @@ from repro.experiments.results import FigureResult
 from repro.experiments.store import stable_key
 from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point
 
-__all__ = ["run_experiment_spec", "spec_hash"]
+__all__ = [
+    "expand_psr_points",
+    "run_experiment_spec",
+    "series_from_outcomes",
+    "spec_hash",
+]
 
 
 def spec_hash(spec: ExperimentSpec) -> str:
@@ -110,6 +115,76 @@ def _x_values(spec: ExperimentSpec) -> list:
     ]
 
 
+def expand_psr_points(spec: ExperimentSpec) -> tuple[list[SweepPoint], list[dict[str, Any]]]:
+    """Expand a *resolved* psr spec's grid into sweep points plus label contexts.
+
+    Row-major over the sweep axes (outer axes first), exactly the execution
+    order of :func:`run_experiment_spec`.  The campaign scheduler uses the
+    same expansion so a figure's grid cells are identical — and therefore
+    dedupe — whether they run standalone or inside a campaign.
+    """
+    axes = spec.sweep.axes
+    fields = [axis.field for axis in axes]
+    points: list[SweepPoint] = []
+    contexts: list[dict[str, Any]] = []
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        scenario, receivers = spec.scenario, spec.receivers
+        for field, value in zip(fields, combo):
+            scenario, receivers = _apply_axis(scenario, receivers, field, value)
+        points.append(
+            SweepPoint(
+                scenario=scenario,
+                receivers=receivers,
+                n_packets=spec.n_packets,
+                seed=spec.seed,
+                engine=spec.engine,
+            )
+        )
+        contexts.append(
+            {axis_placeholder(field): value for field, value in zip(fields, combo)}
+        )
+    return points, contexts
+
+
+def series_from_outcomes(
+    spec: ExperimentSpec,
+    contexts: list[dict[str, Any]],
+    outcomes: list[dict[str, float]],
+) -> FigureResult:
+    """Assemble the :class:`FigureResult` from per-point receiver outcomes.
+
+    ``outcomes[i]`` maps receiver name to the y value of grid cell ``i`` (in
+    :func:`expand_psr_points` order); series fan out per (outer-axes combo x
+    receiver) and are named by the spec's ``series_label``.
+    """
+    series: dict[str, list[float]] = {}
+    for context, outcome in zip(contexts, outcomes):
+        label_context = dict(context)
+        if "mcs_name" in label_context:
+            label_context["mcs"] = _pretty_mcs(label_context["mcs_name"])
+        for receiver in spec.receivers:
+            label = spec.series_label.format(**label_context, receiver=receiver.label)
+            series.setdefault(label, []).append(outcome[receiver.name])
+
+    x_values = _x_values(spec)
+    for label, values in series.items():
+        if len(values) != len(x_values):
+            raise SpecError(
+                f"series {label!r} collected {len(values)} points for {len(x_values)} x "
+                "values; distinct series must not share a label — include an axis "
+                "placeholder (or receiver display) in series_label"
+            )
+    return FigureResult(
+        figure=spec.figure,
+        title=spec.title,
+        x_label=spec.x_label,
+        x_values=x_values,
+        series=series,
+        y_label=spec.y_label,
+        notes=list(spec.notes),
+    )
+
+
 def run_experiment_spec(
     spec: ExperimentSpec,
     profile: Any = None,
@@ -143,52 +218,6 @@ def run_experiment_spec(
         runner = resolve_analysis(spec.analysis)
         return runner(profile, n_workers=n_workers, **(spec.params or {}))
 
-    axes = spec.sweep.axes
-    fields = [axis.field for axis in axes]
-    points: list[SweepPoint] = []
-    contexts: list[dict[str, Any]] = []
-    for combo in itertools.product(*(axis.values for axis in axes)):
-        scenario, receivers = spec.scenario, spec.receivers
-        for field, value in zip(fields, combo):
-            scenario, receivers = _apply_axis(scenario, receivers, field, value)
-        points.append(
-            SweepPoint(
-                scenario=scenario,
-                receivers=receivers,
-                n_packets=spec.n_packets,
-                seed=spec.seed,
-                engine=spec.engine,
-            )
-        )
-        contexts.append(
-            {axis_placeholder(field): value for field, value in zip(fields, combo)}
-        )
-
+    points, contexts = expand_psr_points(spec)
     outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)
-
-    series: dict[str, list[float]] = {}
-    for context, outcome in zip(contexts, outcomes):
-        label_context = dict(context)
-        if "mcs_name" in label_context:
-            label_context["mcs"] = _pretty_mcs(label_context["mcs_name"])
-        for receiver in spec.receivers:
-            label = spec.series_label.format(**label_context, receiver=receiver.label)
-            series.setdefault(label, []).append(outcome[receiver.name])
-
-    x_values = _x_values(spec)
-    for label, values in series.items():
-        if len(values) != len(x_values):
-            raise SpecError(
-                f"series {label!r} collected {len(values)} points for {len(x_values)} x "
-                "values; distinct series must not share a label — include an axis "
-                "placeholder (or receiver display) in series_label"
-            )
-    return FigureResult(
-        figure=spec.figure,
-        title=spec.title,
-        x_label=spec.x_label,
-        x_values=x_values,
-        series=series,
-        y_label=spec.y_label,
-        notes=list(spec.notes),
-    )
+    return series_from_outcomes(spec, contexts, outcomes)

@@ -1,0 +1,135 @@
+"""The ``campaign`` runner subcommand.
+
+Invoked as ``cprecycle-experiments campaign ...``::
+
+    cprecycle-experiments campaign --spec my-campaign.json
+    cprecycle-experiments campaign --spec my-campaign.json --resume
+    cprecycle-experiments campaign --spec my-campaign.json --resume --report csv
+
+``--spec`` names the :class:`repro.api.CampaignSpec` JSON file; the
+workspace (``--out``, default ``campaigns/<name>``) receives the manifest,
+the shared point cache, per-experiment artifacts and ``summary.json``.
+``--resume`` continues an interrupted (or finished — then it only reloads
+and reports) campaign; ``--report`` picks the stdout rendering.  A finished
+campaign's summary can thus be re-rendered at any time without resimulating
+a single packet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from pathlib import Path
+
+from repro.api.campaign import CampaignSpec
+from repro.api.specs import SpecError
+from repro.campaigns.report import (
+    format_summary_csv,
+    format_summary_json,
+    format_summary_markdown,
+)
+from repro.campaigns.scheduler import run_campaign
+from repro.experiments.link import default_engine
+from repro.experiments.parallel import resolve_workers
+from repro.experiments.sweeps import PROGRESS_ENV_VAR
+
+__all__ = ["main"]
+
+_REPORTERS = {
+    "markdown": format_summary_markdown,
+    "csv": format_summary_csv,
+    "json": format_summary_json,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``campaign`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="cprecycle-experiments campaign",
+        description="Run a set of experiments as one adaptively-sampled campaign",
+    )
+    parser.add_argument(
+        "--spec",
+        type=Path,
+        required=True,
+        metavar="FILE",
+        help="campaign spec JSON file (see repro.api.CampaignSpec / examples/campaign.py)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="campaign workspace: manifest, point cache, per-experiment artifacts "
+        "and summary.json (default: campaigns/<campaign name>)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previously interrupted campaign from its manifest "
+        "(bit-identical final counts); required to re-enter a used workspace",
+    )
+    parser.add_argument(
+        "--report",
+        choices=sorted(_REPORTERS),
+        default="markdown",
+        help="stdout rendering of the campaign summary (default: markdown)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool width for sweep points (overrides the campaign spec "
+        "and REPRO_WORKERS)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default=None,
+        help="link-simulation engine (overrides the campaign spec and REPRO_ENGINE)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one stderr line per completed sweep chunk (same as REPRO_PROGRESS=1)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.engine is None:
+            default_engine()
+        resolve_workers(args.workers)
+    except ValueError as error:
+        parser.error(str(error))
+
+    try:
+        spec = CampaignSpec.from_json(args.spec.read_text())
+    except OSError as error:
+        parser.error(f"cannot read campaign spec {args.spec}: {error}")
+    except SpecError as error:
+        parser.error(f"invalid campaign spec {args.spec}: {error}")
+
+    workspace = args.out if args.out is not None else Path("campaigns") / spec.name
+    saved_progress = os.environ.get(PROGRESS_ENV_VAR)
+    if args.progress:
+        os.environ[PROGRESS_ENV_VAR] = "1"
+    try:
+        run = run_campaign(
+            spec,
+            workspace,
+            resume=args.resume,
+            n_workers=args.workers,
+            engine=args.engine,
+        )
+    except (SpecError, ValueError) as error:
+        parser.error(str(error))
+    finally:
+        if args.progress:
+            if saved_progress is None:
+                os.environ.pop(PROGRESS_ENV_VAR, None)
+            else:
+                os.environ[PROGRESS_ENV_VAR] = saved_progress
+
+    print(_REPORTERS[args.report](run.summary))
+    return 0

@@ -12,9 +12,11 @@ from repro.experiments.config import (
     default_profile,
 )
 from repro.experiments.link import (
+    LinkResult,
     PacketStats,
     default_engine,
     packet_success_rate,
+    psr,
     symbol_error_rate,
 )
 from repro.experiments.parallel import parallel_map, resolve_workers
@@ -25,6 +27,7 @@ __all__ = [
     "ExperimentProfile",
     "FULL_PROFILE",
     "FigureResult",
+    "LinkResult",
     "PAPER_MCS_SET",
     "PacketStats",
     "QUICK_PROFILE",
@@ -40,6 +43,7 @@ __all__ = [
     "format_table",
     "packet_success_rate",
     "parallel_map",
+    "psr",
     "resolve_workers",
     "symbol_error_rate",
 ]

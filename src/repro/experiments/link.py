@@ -37,9 +37,11 @@ from repro.receiver.decode_chain import (
 from repro.utils.rng import child_rng
 
 __all__ = [
+    "LinkResult",
     "PacketStats",
     "default_engine",
     "packet_success_rate",
+    "psr",
     "symbol_error_rate",
 ]
 
@@ -71,32 +73,117 @@ def _resolve_engine(engine: str | None) -> str:
     return engine
 
 
+def psr(n_success: int, n_packets: int) -> float:
+    """Packet success rate as a fraction, validating the counts.
+
+    A zero packet count has no defined rate and raises (an all-fail run is
+    ``0.0``, an all-success run is ``1.0`` — both valid); impossible count
+    pairs (negative, or more successes than packets) raise as well instead
+    of producing a silently out-of-range rate.
+    """
+    if n_packets == 0:
+        raise ValueError("no packets were simulated")
+    if n_packets < 0:
+        raise ValueError(f"n_packets must be >= 0, got {n_packets}")
+    if not 0 <= n_success <= n_packets:
+        raise ValueError(
+            f"n_success must be between 0 and n_packets={n_packets}, got {n_success}"
+        )
+    return n_success / n_packets
+
+
 @dataclass(frozen=True)
-class PacketStats:
+class LinkResult:
     """Packet-decoding statistics of one receiver over one scenario point.
 
     ``successes`` records the per-packet CRC outcome in packet order; the
     benchmark harness compares it between engines so that compensating
     errors (one engine failing packet A, the other packet B) cannot hide
     behind equal aggregate counts.
+
+    ``first_packet`` is the global index of the first simulated packet —
+    packet ``i`` of this result derives every random draw from the child RNG
+    stream of global packet ``first_packet + i``, so two results covering
+    adjacent index ranges :meth:`merge` losslessly into exactly the result
+    one long run over the union would have produced.  The adaptive campaign
+    scheduler (:mod:`repro.campaigns`) relies on this to grow a point's
+    packet budget in rounds without ever re-simulating a packet.
     """
 
     receiver: str
     n_packets: int
     n_success: int
     successes: tuple[bool, ...] = ()
+    first_packet: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_packets < 0:
+            raise ValueError(f"n_packets must be >= 0, got {self.n_packets}")
+        if not 0 <= self.n_success <= self.n_packets:
+            raise ValueError(
+                f"n_success must be between 0 and n_packets={self.n_packets}, "
+                f"got {self.n_success}"
+            )
+        if self.successes and (
+            len(self.successes) != self.n_packets
+            or sum(self.successes) != self.n_success
+        ):
+            raise ValueError(
+                f"per-packet successes ({len(self.successes)} entries, "
+                f"{sum(self.successes)} true) disagree with the counts "
+                f"({self.n_success}/{self.n_packets})"
+            )
 
     @property
     def success_rate(self) -> float:
         """Fraction of packets whose CRC verified."""
-        if self.n_packets == 0:
-            raise ValueError("no packets were simulated")
-        return self.n_success / self.n_packets
+        return psr(self.n_success, self.n_packets)
 
     @property
     def success_percent(self) -> float:
         """Packet success rate in percent (the paper's y-axis)."""
         return 100.0 * self.success_rate
+
+    def merge(self, other: "LinkResult") -> "LinkResult":
+        """Combine two results over adjacent packet ranges losslessly.
+
+        The ranges must be contiguous (no gap, no overlap) so that the merge
+        is exactly the result of one long run over the union — the counts
+        sum, and the per-packet outcomes concatenate in global packet order.
+        When either side carries only counts (empty ``successes``), the
+        merged result is counts-only.
+        """
+        if self.receiver != other.receiver:
+            raise ValueError(
+                f"cannot merge results of different receivers "
+                f"({self.receiver!r} vs {other.receiver!r})"
+            )
+        first, second = sorted((self, other), key=lambda result: result.first_packet)
+        if first.first_packet + first.n_packets != second.first_packet:
+            raise ValueError(
+                f"link results cover non-contiguous packet ranges "
+                f"[{first.first_packet}, {first.first_packet + first.n_packets}) and "
+                f"[{second.first_packet}, {second.first_packet + second.n_packets})"
+            )
+        successes: tuple[bool, ...] = ()
+        if (first.successes or not first.n_packets) and (
+            second.successes or not second.n_packets
+        ):
+            successes = first.successes + second.successes
+        return LinkResult(
+            receiver=self.receiver,
+            n_packets=first.n_packets + second.n_packets,
+            n_success=first.n_success + second.n_success,
+            successes=successes,
+            first_packet=first.first_packet,
+        )
+
+    def __add__(self, other: "LinkResult") -> "LinkResult":
+        return self.merge(other)
+
+
+#: Backwards-compatible alias: the result type predates round-merging.
+PacketStats = LinkResult
 
 
 def packet_success_rate(
@@ -105,14 +192,24 @@ def packet_success_rate(
     n_packets: int,
     seed: int = 0,
     engine: str | None = None,
-) -> dict[str, PacketStats]:
+    first_packet: int = 0,
+) -> dict[str, LinkResult]:
     """Packet success rate of each receiver over ``n_packets`` realisations.
 
     Every receiver decodes exactly the same received waveforms, so the
     comparison isolates the receiver algorithm from the channel draw.
+
+    Packet ``i`` derives all randomness from the child RNG stream of global
+    packet index ``first_packet + i``, so splitting a long run into
+    consecutive ``first_packet`` windows and merging the
+    :class:`LinkResult`s reproduces the long run bit for bit — the counts
+    depend only on which packet indices were simulated, never on how they
+    were chunked into calls.
     """
     if n_packets < 1:
         raise ValueError("n_packets must be at least 1")
+    if first_packet < 0:
+        raise ValueError(f"first_packet must be >= 0, got {first_packet}")
     if not receivers:
         raise ValueError("at least one receiver is required")
     engine = _resolve_engine(engine)
@@ -121,27 +218,28 @@ def packet_success_rate(
     if engine == "fast":
         for start in range(0, n_packets, FAST_ENGINE_BATCH):
             count = min(FAST_ENGINE_BATCH, n_packets - start)
-            rxs = scenario.realize_batch(count, seed, first_index=start)
+            rxs = scenario.realize_batch(count, seed, first_index=first_packet + start)
             for name, receiver in receivers.items():
                 coded[name].extend(d.coded_bits for d in receiver.demodulate_batch(rxs))
     else:
         for index in range(n_packets):
-            rx = scenario.realize(child_rng(seed, index))
+            rx = scenario.realize(child_rng(seed, first_packet + index))
             for name, receiver in receivers.items():
                 coded[name].append(receiver.demodulate(rx).coded_bits)
 
     decode_batch = (
         decode_coded_bits_batch if engine == "fast" else decode_coded_bits_batch_reference
     )
-    stats: dict[str, PacketStats] = {}
+    stats: dict[str, LinkResult] = {}
     for name in receivers:
         frames = decode_batch(spec, np.stack(coded[name]))
         successes = tuple(bool(frame.crc_ok) for frame in frames)
-        stats[name] = PacketStats(
+        stats[name] = LinkResult(
             receiver=name,
             n_packets=n_packets,
             n_success=sum(successes),
             successes=successes,
+            first_packet=first_packet,
         )
     return stats
 

@@ -32,6 +32,15 @@ Usage::
                                           # scenario instead of the 15 dB
                                           # threshold shift (heavier; see
                                           # repro.network.links)
+    cprecycle-experiments --list          # print every registered experiment,
+                                          # analysis, receiver and topology
+    cprecycle-experiments --progress ...  # one stderr line per completed
+                                          # sweep chunk (REPRO_PROGRESS=1)
+    cprecycle-experiments campaign --spec my-campaign.json --resume
+                                          # run many experiments as one
+                                          # adaptively-sampled campaign with
+                                          # checkpoint/resume and a summary
+                                          # report (see repro.campaigns)
 """
 
 from __future__ import annotations
@@ -61,6 +70,7 @@ from repro.experiments.link import default_engine
 from repro.experiments.parallel import resolve_workers
 from repro.experiments.results import format_csv, format_table
 from repro.experiments.store import CACHE_ENV_VAR, ResultStore
+from repro.experiments.sweeps import PROGRESS_ENV_VAR
 
 __all__ = ["EXPERIMENTS", "BUILTIN_SPECS", "builtin_spec", "run_experiment", "main"]
 
@@ -120,8 +130,43 @@ _FORMATTERS = {
 }
 
 
+def _print_registries() -> None:
+    """The ``--list`` output: every registered name, grouped by registry."""
+    from repro.api.registry import (
+        available_analyses,
+        available_receivers,
+        available_topologies,
+    )
+
+    print("experiments (run as: cprecycle-experiments <name>):")
+    for name in BUILTIN_SPECS:
+        spec = BUILTIN_SPECS[name]()
+        print(f"  {name:<16} {spec.figure}: {spec.title}")
+    print("analyses (ExperimentSpec kind='analysis', field 'analysis'):")
+    for name in available_analyses():
+        print(f"  {name}")
+    print("receivers (ReceiverSpec 'name'):")
+    for name in available_receivers():
+        print(f"  {name}")
+    print("topologies (DeploymentSpec 'topology'):")
+    for name in available_topologies():
+        print(f"  {name}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "campaign":
+        # The campaign subcommand has its own option set (see
+        # repro.campaigns.cli); the import is lazy so plain figure runs do
+        # not pay for the campaigns package.
+        from repro.campaigns.cli import main as campaign_main
+
+        return campaign_main(argv[1:])
+
     parser = argparse.ArgumentParser(description="Regenerate the CPRecycle evaluation figures")
     parser.add_argument(
         "experiments",
@@ -193,7 +238,22 @@ def main(argv: list[str] | None = None) -> int:
         "on re-runs, so an interrupted run resumes instead of restarting "
         "(default out dir: results/)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one stderr line per completed sweep chunk (points done/total "
+        "and elapsed time; same as REPRO_PROGRESS=1)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print every registered experiment, analysis, receiver and network "
+        "topology, then exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        _print_registries()
+        return 0
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
 
     if args.mode is not None:
@@ -266,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["REPRO_ENGINE"] = args.engine
     if args.resume:
         overrides[CACHE_ENV_VAR] = str(out_dir / ".cache")
+    if args.progress:
+        overrides[PROGRESS_ENV_VAR] = "1"
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
     store = ResultStore(out_dir) if out_dir is not None else None

@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.experiments.results import FigureResult
 
-__all__ = ["stable_key", "config_hash", "ResultStore", "PointCache"]
+__all__ = ["stable_key", "config_hash", "ResultStore", "PointCache", "CampaignManifest"]
 
 #: Version of the on-disk artifact/cache envelope (the FigureResult payload
 #: carries its own ``schema_version``).
@@ -249,3 +249,99 @@ class PointCache:
                 self._entries = merged
         record = {"schema_version": STORE_SCHEMA_VERSION, "points": self._entries}
         _atomic_write(self.path, json.dumps(record) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# Campaign manifest (adaptive-sampling checkpoints)                           #
+# --------------------------------------------------------------------------- #
+class CampaignManifest:
+    """Durable state of one adaptive campaign run (checkpoint/resume).
+
+    The campaign scheduler (:mod:`repro.campaigns.scheduler`) checkpoints
+    after every sampling round: per deduplicated grid cell the manifest
+    records the exact accumulated ``[n_success, n_packets]`` counts per
+    receiver, the number of rounds spent, whether the cell met its precision
+    target and the achieved Wilson confidence half-width.  A ``--resume``
+    run reloads the manifest (the campaign content hash must match — a
+    manifest from a *different* campaign refuses to resume instead of
+    silently mixing results) and continues from the recorded counts; because
+    every round's packets draw from global-packet-index RNG streams, the
+    resumed run finishes with counts bit-identical to an uninterrupted one.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.campaign: str | None = None
+        self.campaign_hash: str | None = None
+        self.rounds_completed = 0
+        self.points: dict[str, dict[str, Any]] = {}
+        self.existed = self.path.is_file()
+        if self.existed:
+            record = json.loads(self.path.read_text())
+            version = record.get("schema_version")
+            if not isinstance(version, int) or version > STORE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"campaign manifest {self.path} has unsupported schema version "
+                    f"{version!r} (this build reads <= {STORE_SCHEMA_VERSION})"
+                )
+            self.campaign = record.get("campaign")
+            self.campaign_hash = record.get("campaign_hash")
+            self.rounds_completed = int(record.get("rounds_completed", 0))
+            self.points = record.get("points", {})
+
+    def begin(self, campaign: str, campaign_hash: str) -> None:
+        """Bind the manifest to one campaign, validating a resumed file.
+
+        Resuming under a different campaign content hash would merge counts
+        from incompatible runs; it raises instead.
+        """
+        if self.existed and self.campaign_hash != campaign_hash:
+            raise ValueError(
+                f"manifest {self.path} belongs to campaign "
+                f"{self.campaign!r} (hash {self.campaign_hash}), not to "
+                f"{campaign!r} (hash {campaign_hash}); use a fresh --out directory"
+            )
+        self.campaign = campaign
+        self.campaign_hash = campaign_hash
+
+    def counts(self, key: str) -> dict[str, list[int]]:
+        """Accumulated ``{receiver: [n_success, n_packets]}`` of one cell."""
+        record = self.points.get(key)
+        if record is None:
+            return {}
+        return {name: list(pair) for name, pair in record.get("receivers", {}).items()}
+
+    def spent_rounds(self, key: str) -> int:
+        """Sampling rounds one cell has already consumed (0 when unknown)."""
+        record = self.points.get(key)
+        return 0 if record is None else int(record.get("rounds", 0))
+
+    def record_point(
+        self,
+        key: str,
+        receivers: dict[str, list[int]],
+        rounds: int,
+        converged: bool,
+        ci_pct: dict[str, float],
+        experiments: list[str],
+    ) -> None:
+        """Replace one cell's checkpoint (call :meth:`flush` to persist)."""
+        self.points[key] = {
+            "receivers": {name: list(pair) for name, pair in receivers.items()},
+            "rounds": rounds,
+            "converged": converged,
+            "ci_pct": ci_pct,
+            "experiments": sorted(experiments),
+        }
+
+    def flush(self) -> None:
+        """Write the manifest atomically."""
+        record = {
+            "schema_version": STORE_SCHEMA_VERSION,
+            "campaign": self.campaign,
+            "campaign_hash": self.campaign_hash,
+            "rounds_completed": self.rounds_completed,
+            "points": self.points,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self.path, json.dumps(record, indent=2) + "\n")

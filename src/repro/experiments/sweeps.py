@@ -29,6 +29,8 @@ of which worker (or run) executes it.
 from __future__ import annotations
 
 import os
+import sys
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,13 +39,24 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.experiments.link import default_engine, packet_success_rate
-from repro.experiments.parallel import parallel_map, parallel_map_chunked
+from repro.experiments.parallel import parallel_map_chunked
 from repro.experiments.store import CACHE_ENV_VAR, PointCache, stable_key
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.api.specs import ReceiverSpec, ScenarioSpec
 
-__all__ = ["execute_points", "sir_axis", "SweepPoint", "run_sweep_point"]
+__all__ = [
+    "execute_points",
+    "progress_enabled",
+    "sir_axis",
+    "SweepPoint",
+    "run_sweep_point",
+    "run_sweep_point_counts",
+    "PROGRESS_ENV_VAR",
+]
+
+#: Environment variable enabling per-chunk progress lines on stderr.
+PROGRESS_ENV_VAR = "REPRO_PROGRESS"
 
 
 def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
@@ -82,6 +95,34 @@ def _point_key(task) -> str:
     return stable_key(task)
 
 
+def progress_enabled() -> bool:
+    """Opt-in progress reporting, selected by ``REPRO_PROGRESS`` (or
+    ``--progress`` on the experiment runner, which sets the variable)."""
+    return os.environ.get(PROGRESS_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class _ProgressReporter:
+    """One stderr line per completed chunk: points done/total and elapsed time."""
+
+    def __init__(self, fn: Callable, total: int, cached: int):
+        self.label = getattr(fn, "__qualname__", getattr(fn, "__name__", "task"))
+        self.total = total
+        self.done = cached
+        self.started = time.monotonic()
+        if cached:
+            self.emit(0)
+
+    def emit(self, newly_done: int) -> None:
+        self.done += newly_done
+        elapsed = time.monotonic() - self.started
+        print(
+            f"[sweep] {self.label}: {self.done}/{self.total} points "
+            f"({elapsed:.1f}s elapsed)",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
 def execute_points(fn, tasks, n_workers: int | None = None) -> list:
     """Run every sweep task through the shared execution layer.
 
@@ -89,23 +130,44 @@ def execute_points(fn, tasks, n_workers: int | None = None) -> list:
     cache directory configured (``REPRO_RESULT_CACHE``), previously completed
     points are returned from the cache and newly computed ones are flushed to
     it chunk-by-chunk (reusing one process pool across chunks), so
-    interrupting an expensive sweep loses at most one chunk of work.
+    interrupting an expensive sweep loses at most one chunk of work.  With
+    ``REPRO_PROGRESS`` set, each completed chunk prints one stderr line
+    (points done/total, elapsed seconds); cached points count as done
+    immediately.
     """
     tasks = list(tasks)
     cache = _point_cache_for(fn)
+    reporter = (
+        _ProgressReporter(fn, total=len(tasks), cached=0)
+        if cache is None and progress_enabled() and tasks
+        else None
+    )
     if cache is None:
-        return parallel_map(fn, tasks, n_workers=n_workers)
+        def report(start: int, chunk_results: list) -> None:
+            if reporter is not None:
+                reporter.emit(len(chunk_results))
+
+        # One chunk when nobody is watching (single flush, least overhead);
+        # pool-sized chunks when progress is on so lines arrive steadily.
+        chunk_size = None if reporter is not None else max(len(tasks), 1)
+        return parallel_map_chunked(
+            fn, tasks, n_workers=n_workers, chunk_size=chunk_size, on_chunk=report
+        )
 
     keys = [_point_key(task) for task in tasks]
     outcomes: dict[int, object] = {
         index: cache.get(key) for index, key in enumerate(keys) if key in cache
     }
     pending = [index for index in range(len(tasks)) if index not in outcomes]
+    if progress_enabled() and tasks:
+        reporter = _ProgressReporter(fn, total=len(tasks), cached=len(outcomes))
 
     def flush(start: int, chunk_results: list) -> None:
         chunk = pending[start : start + len(chunk_results)]
         cache.update({keys[i]: outcome for i, outcome in zip(chunk, chunk_results)})
         outcomes.update(dict(zip(chunk, chunk_results)))
+        if reporter is not None:
+            reporter.emit(len(chunk_results))
 
     parallel_map_chunked(
         fn, [tasks[i] for i in pending], n_workers=n_workers, on_chunk=flush
@@ -125,6 +187,13 @@ class SweepPoint:
     entries resolved through the receiver registry at execution time.  Both
     are frozen dataclasses of primitives, so the point pickles into pool
     workers and content-hashes identically in every process.
+
+    ``first_packet`` is the global index of the point's first packet
+    (packet ``i`` draws from the child RNG stream of ``first_packet + i``).
+    The adaptive campaign scheduler grows a point's budget in rounds by
+    issuing consecutive ``[first_packet, first_packet + n_packets)`` windows
+    of the same scenario; their counts merge losslessly into the one-long-run
+    result (see :class:`repro.experiments.link.LinkResult`).
     """
 
     scenario: "ScenarioSpec"
@@ -132,6 +201,24 @@ class SweepPoint:
     n_packets: int
     seed: int
     engine: str | None = field(default=None)
+    first_packet: int = 0
+
+
+def _simulate_point(point: SweepPoint) -> dict:
+    from repro.api.registry import build_receiver
+
+    scenario = point.scenario.build()
+    receivers = {
+        spec.name: build_receiver(spec, scenario.allocation) for spec in point.receivers
+    }
+    return packet_success_rate(
+        scenario,
+        receivers,
+        point.n_packets,
+        seed=point.seed,
+        engine=point.engine,
+        first_packet=point.first_packet,
+    )
 
 
 def run_sweep_point(point: SweepPoint) -> dict[str, float]:
@@ -141,13 +228,18 @@ def run_sweep_point(point: SweepPoint) -> dict[str, float]:
     from ``point.seed``, making the result independent of which worker (or
     order) executes it.
     """
-    from repro.api.registry import build_receiver
+    stats = _simulate_point(point)
+    return {name: stat.success_percent for name, stat in stats.items()}
 
-    scenario = point.scenario.build()
-    receivers = {
-        spec.name: build_receiver(spec, scenario.allocation) for spec in point.receivers
-    }
-    stats = packet_success_rate(
-        scenario, receivers, point.n_packets, seed=point.seed, engine=point.engine
-    )
-    return {name: stats[name].success_percent for name in receivers}
+
+def run_sweep_point_counts(point: SweepPoint) -> dict[str, list[int]]:
+    """Simulate one sweep point and return exact ``[n_success, n_packets]``
+    counts per receiver.
+
+    The campaign scheduler's task function: unlike :func:`run_sweep_point`
+    it keeps the integer counts (JSON-exact, so point-cache round-trips are
+    bit-identical) so consecutive rounds of the same point merge losslessly
+    instead of averaging percentages.
+    """
+    stats = _simulate_point(point)
+    return {name: [stat.n_success, stat.n_packets] for name, stat in stats.items()}

@@ -229,3 +229,81 @@ class TestRunnerPersistence:
         assert runner.main(["table1", "--format", "csv"]) == 0
         captured = capsys.readouterr().out
         assert captured.startswith("Standard / bandwidth,")
+
+
+class TestTwoProcessCacheWriters:
+    def test_two_processes_sharing_cache_merge_on_flush(self, tmp_path):
+        """A flush read-merge-writes the on-disk record before os.replace, so
+        a writer in another process cannot be clobbered by entries this
+        process loaded before that writer flushed."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "cache.json"
+        mine = PointCache(path)  # loaded while the file does not exist yet
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[2]);"
+            "from repro.experiments.store import PointCache;"
+            "PointCache(sys.argv[1]).update({'other-process': 42})"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        subprocess.run(
+            [sys.executable, "-c", script, str(path), src], check=True
+        )
+        assert json.loads(path.read_text())["points"] == {"other-process": 42}
+        # Flushing this process's (stale) view must keep the other writer's
+        # point alongside ours.
+        mine.update({"this-process": 1})
+        merged = json.loads(path.read_text())["points"]
+        assert merged == {"other-process": 42, "this-process": 1}
+        assert mine.get("other-process") == 42
+
+
+class TestCampaignManifest:
+    def _manifest(self, tmp_path):
+        from repro.experiments.store import CampaignManifest
+
+        return CampaignManifest(tmp_path / "manifest.json")
+
+    def test_round_trip(self, tmp_path):
+        from repro.experiments.store import CampaignManifest
+
+        manifest = self._manifest(tmp_path)
+        manifest.begin("camp", "abc123")
+        manifest.record_point(
+            "k1",
+            receivers={"standard": [3, 8]},
+            rounds=2,
+            converged=True,
+            ci_pct={"standard": 12.5},
+            experiments=["fig11"],
+        )
+        manifest.rounds_completed = 2
+        manifest.flush()
+
+        reloaded = CampaignManifest(tmp_path / "manifest.json")
+        assert reloaded.existed
+        assert reloaded.campaign == "camp" and reloaded.campaign_hash == "abc123"
+        assert reloaded.rounds_completed == 2
+        assert reloaded.counts("k1") == {"standard": [3, 8]}
+        assert reloaded.spent_rounds("k1") == 2
+        assert reloaded.counts("missing") == {} and reloaded.spent_rounds("missing") == 0
+        reloaded.begin("camp", "abc123")  # same campaign: resume allowed
+
+    def test_begin_refuses_foreign_manifest(self, tmp_path):
+        from repro.experiments.store import CampaignManifest
+
+        manifest = self._manifest(tmp_path)
+        manifest.begin("camp", "abc123")
+        manifest.flush()
+        reloaded = CampaignManifest(tmp_path / "manifest.json")
+        with pytest.raises(ValueError, match="fresh --out"):
+            reloaded.begin("other", "def456")
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        from repro.experiments.store import CampaignManifest
+
+        (tmp_path / "manifest.json").write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(ValueError, match="schema version"):
+            CampaignManifest(tmp_path / "manifest.json")

@@ -135,3 +135,53 @@ class TestPicklabilityProbe:
     def test_probe_helper_contract(self):
         assert parallel._picklable(_value_of, _CountedTask(1))
         assert not parallel._picklable(lambda: None)
+
+
+class TestProgressReporting:
+    """Opt-in stderr progress lines from the shared execution layer."""
+
+    def test_disabled_by_default(self, capsys, monkeypatch):
+        from repro.experiments.sweeps import PROGRESS_ENV_VAR, execute_points
+
+        monkeypatch.delenv(PROGRESS_ENV_VAR, raising=False)
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        execute_points(_double, [1, 2, 3])
+        assert capsys.readouterr().err == ""
+
+    def test_progress_lines_without_cache(self, capsys, monkeypatch):
+        from repro.experiments.sweeps import PROGRESS_ENV_VAR, execute_points
+
+        monkeypatch.setenv(PROGRESS_ENV_VAR, "1")
+        monkeypatch.delenv("REPRO_RESULT_CACHE", raising=False)
+        assert execute_points(_double, [1, 2, 3]) == [{"doubled": v} for v in (2, 4, 6)]
+        err = capsys.readouterr().err
+        assert "[sweep] _double:" in err
+        assert "3/3 points" in err and "elapsed" in err
+
+    def test_progress_counts_cached_points(self, capsys, monkeypatch, tmp_path):
+        from repro.experiments.sweeps import PROGRESS_ENV_VAR, execute_points
+
+        monkeypatch.setenv("REPRO_RESULT_CACHE", str(tmp_path / "cache"))
+        monkeypatch.delenv(PROGRESS_ENV_VAR, raising=False)
+        execute_points(_double, [1, 2])  # warm the cache silently
+        monkeypatch.setenv(PROGRESS_ENV_VAR, "1")
+        execute_points(_double, [1, 2, 3, 4])
+        err = capsys.readouterr().err
+        # First line reports the 2 cache hits, the final one completion.
+        assert "2/4 points" in err and "4/4 points" in err
+
+    def test_runner_progress_flag_sets_env(self, monkeypatch, capsys):
+        from repro.experiments import runner
+        from repro.experiments.sweeps import PROGRESS_ENV_VAR
+
+        monkeypatch.delenv(PROGRESS_ENV_VAR, raising=False)
+        monkeypatch.setattr(runner, "QUICK_PROFILE", TINY)
+        assert runner.main(["table1", "--progress"]) == 0
+        # The override is restored on exit ...
+        assert PROGRESS_ENV_VAR not in __import__("os").environ
+        # ... but the sweep inside the run reported progress on stderr.
+        assert "[sweep]" in capsys.readouterr().err
+
+
+def _double(value):
+    return {"doubled": value * 2}
