@@ -30,7 +30,12 @@ from repro.campaigns.report import (
 )
 from repro.campaigns.scheduler import run_campaign
 from repro.experiments.link import default_engine
-from repro.experiments.parallel import resolve_workers
+from repro.experiments.parallel import (
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    FailurePolicy,
+    resolve_workers,
+)
 from repro.experiments.sweeps import PROGRESS_ENV_VAR
 
 __all__ = ["main"]
@@ -94,12 +99,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print one stderr line per completed sweep chunk (same as REPRO_PROGRESS=1)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-execute a failed or timed-out sweep task up to N times with "
+        f"exponential backoff (default: {RETRIES_ENV_VAR} or "
+        f"{FailurePolicy().max_retries}); retried work is bit-identical by "
+        "construction",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon and re-dispatch a sweep task running longer than this "
+        f"many seconds (pool mode only; default: {TIMEOUT_ENV_VAR} or no limit)",
+    )
     args = parser.parse_args(argv)
 
     try:
         if args.engine is None:
             default_engine()
         resolve_workers(args.workers)
+        policy = FailurePolicy.from_env(args.max_retries, args.task_timeout)
     except ValueError as error:
         parser.error(str(error))
 
@@ -111,9 +135,19 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"invalid campaign spec {args.spec}: {error}")
 
     workspace = args.out if args.out is not None else Path("campaigns") / spec.name
-    saved_progress = os.environ.get(PROGRESS_ENV_VAR)
+    # Thread the execution knobs through the environment (like the figure
+    # runner does) so the campaign's analysis experiments — which resolve
+    # their failure policy from the environment — honour them too; restore
+    # the previous values on exit.
+    overrides: dict[str, str] = {}
     if args.progress:
-        os.environ[PROGRESS_ENV_VAR] = "1"
+        overrides[PROGRESS_ENV_VAR] = "1"
+    if args.max_retries is not None:
+        overrides[RETRIES_ENV_VAR] = str(args.max_retries)
+    if args.task_timeout is not None:
+        overrides[TIMEOUT_ENV_VAR] = str(args.task_timeout)
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
     try:
         run = run_campaign(
             spec,
@@ -121,15 +155,16 @@ def main(argv: list[str] | None = None) -> int:
             resume=args.resume,
             n_workers=args.workers,
             engine=args.engine,
+            policy=policy,
         )
     except (SpecError, ValueError) as error:
         parser.error(str(error))
     finally:
-        if args.progress:
-            if saved_progress is None:
-                os.environ.pop(PROGRESS_ENV_VAR, None)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
             else:
-                os.environ[PROGRESS_ENV_VAR] = saved_progress
+                os.environ[key] = value
 
     print(_REPORTERS[args.report](run.summary))
     return 0

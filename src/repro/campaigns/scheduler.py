@@ -59,6 +59,7 @@ from repro.experiments.config import (
     default_profile,
 )
 from repro.experiments.link import default_engine, psr
+from repro.experiments.parallel import FailurePolicy, supervisor_stats
 from repro.experiments.results import FigureResult
 from repro.experiments.store import (
     CACHE_ENV_VAR,
@@ -178,6 +179,7 @@ def run_campaign(
     n_workers: int | None = None,
     engine: str | None = None,
     profile: ExperimentProfile | None = None,
+    policy: FailurePolicy | None = None,
 ) -> CampaignRun:
     """Run (or resume) one campaign; returns results, summary and paths.
 
@@ -190,8 +192,14 @@ def run_campaign(
     uninterrupted one.  ``n_workers``/``engine`` follow the usual
     precedence: explicit argument, then the campaign spec, then the
     environment.
+
+    ``policy`` tunes the supervised executor's failure handling for the
+    sampling rounds (default: the ``REPRO_MAX_RETRIES``/... environment);
+    the recovery events the run needed (retries, pool respawns, ...) are
+    recorded under ``totals.recovery`` in the summary.
     """
     workspace = Path(workspace)
+    stats_before = supervisor_stats().snapshot()
     profile = _resolve_profile(spec, profile)
     engine = engine if engine is not None else spec.engine
     n_workers = n_workers if n_workers is not None else spec.n_workers
@@ -286,7 +294,9 @@ def run_campaign(
                 replace(cell.point, first_packet=done, n_packets=count)
                 for cell, done, count in batch
             ]
-            outcomes = execute_points(run_sweep_point_counts, tasks, n_workers=n_workers)
+            outcomes = execute_points(
+                run_sweep_point_counts, tasks, n_workers=n_workers, policy=policy
+            )
             for (cell, done, count), outcome in zip(batch, outcomes):
                 cell.absorb(outcome, count)
             manifest.rounds_completed += 1
@@ -389,6 +399,10 @@ def run_campaign(
                 round(1.0 - adaptive_packets / fixed_packets, 4) if fixed_packets else 0.0
             ),
             "rounds": manifest.rounds_completed,
+            # Recovery events the supervised executor performed during this
+            # run — all zeros on a healthy run; retried/re-dispatched work is
+            # bit-identical either way (seeded RNG streams).
+            "recovery": supervisor_stats().diff(stats_before).as_dict(),
         },
         "experiments": experiment_summaries,
         "notes": list(spec.notes),

@@ -19,14 +19,27 @@ from repro.experiments.link import (
     psr,
     symbol_error_rate,
 )
-from repro.experiments.parallel import parallel_map, resolve_workers
+from repro.experiments.faults import FaultPlan, InjectedFault
+from repro.experiments.parallel import (
+    FailurePolicy,
+    SupervisorStats,
+    SweepExecutionError,
+    SweepTaskError,
+    parallel_map,
+    reset_supervisor_stats,
+    resolve_workers,
+    supervisor_stats,
+)
 from repro.experiments.results import FigureResult, format_csv, format_table
 from repro.experiments.store import PointCache, ResultStore
 
 __all__ = [
     "ExperimentProfile",
     "FULL_PROFILE",
+    "FailurePolicy",
+    "FaultPlan",
     "FigureResult",
+    "InjectedFault",
     "LinkResult",
     "PAPER_MCS_SET",
     "PacketStats",
@@ -44,6 +57,11 @@ __all__ = [
     "packet_success_rate",
     "parallel_map",
     "psr",
+    "reset_supervisor_stats",
     "resolve_workers",
+    "supervisor_stats",
+    "SupervisorStats",
+    "SweepExecutionError",
+    "SweepTaskError",
     "symbol_error_rate",
 ]

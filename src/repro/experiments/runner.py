@@ -67,7 +67,12 @@ from repro.experiments import (
 )
 from repro.experiments.config import FULL_PROFILE, QUICK_PROFILE, ExperimentProfile
 from repro.experiments.link import default_engine
-from repro.experiments.parallel import resolve_workers
+from repro.experiments.parallel import (
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    FailurePolicy,
+    resolve_workers,
+)
 from repro.experiments.results import format_csv, format_table
 from repro.experiments.store import CACHE_ENV_VAR, ResultStore
 from repro.experiments.sweeps import PROGRESS_ENV_VAR
@@ -196,6 +201,24 @@ def main(argv: list[str] | None = None) -> int:
         "(per-packet/per-symbol verification fallback)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-execute a failed or timed-out sweep task up to N times with "
+        f"exponential backoff (default: {RETRIES_ENV_VAR} or "
+        f"{FailurePolicy().max_retries}); retried work is bit-identical by "
+        "construction",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon and re-dispatch a sweep task running longer than this "
+        f"many seconds (pool mode only; default: {TIMEOUT_ENV_VAR} or no limit)",
+    )
+    parser.add_argument(
         "--mode",
         choices=("threshold", "simulated"),
         default=None,
@@ -278,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.engine is None:
             default_engine()
         resolve_workers(args.workers)
+        FailurePolicy.from_env(args.max_retries, args.task_timeout)
     except ValueError as error:
         parser.error(str(error))
 
@@ -328,6 +352,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides[CACHE_ENV_VAR] = str(out_dir / ".cache")
     if args.progress:
         overrides[PROGRESS_ENV_VAR] = "1"
+    if args.max_retries is not None:
+        overrides[RETRIES_ENV_VAR] = str(args.max_retries)
+    if args.task_timeout is not None:
+        overrides[TIMEOUT_ENV_VAR] = str(args.task_timeout)
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
     store = ResultStore(out_dir) if out_dir is not None else None

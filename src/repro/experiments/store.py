@@ -19,6 +19,16 @@ serialisation of the task object (dataclasses, ``functools.partial`` objects
 and module-level callables are resolved to their structural content, not
 their ``id()``), so the same logical point hashes identically across
 processes and interpreter runs.
+
+Durability: every record is written atomically (write-temp + ``os.replace``)
+and stamped with a ``checksum`` (SHA-256 over the canonical JSON of the
+record minus the checksum field).  A file that fails to parse or verify —
+torn by a crash mid-rename on a non-atomic filesystem, truncated by a full
+disk, hand-edited — is *quarantined*: renamed to ``<name>.corrupt`` with a
+warning, after which the run continues from the last good state (an empty
+cache, a fresh manifest) instead of raising or silently discarding
+checkpointed work.  Files written by older builds carry no checksum and are
+still accepted.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -104,6 +115,72 @@ def _atomic_write(path: Path, text: str) -> None:
 
 
 # --------------------------------------------------------------------------- #
+# Record integrity: checksum stamping and corrupt-file quarantine             #
+# --------------------------------------------------------------------------- #
+def _record_checksum(record: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of ``record`` minus its checksum."""
+    body = {key: value for key, value in record.items() if key != "checksum"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _stamped(record: dict[str, Any]) -> dict[str, Any]:
+    """``record`` with its integrity checksum filled in."""
+    return {**record, "checksum": _record_checksum(record)}
+
+
+def _quarantine(path: Path, what: str, reason: str) -> Path:
+    """Move a corrupt file out of the way and warn; never raises.
+
+    The quarantined copy (``<name>.corrupt``) is preserved for post-mortem
+    inspection; the caller then proceeds from its last good state.
+    """
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+        moved = True
+    except OSError:
+        moved = False
+    warnings.warn(
+        f"{what} {path} is corrupt ({reason}); "
+        + (f"quarantined to {target.name}" if moved else "it could not be quarantined")
+        + " — continuing from the last good state",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+    return target
+
+
+def _read_record(path: Path, what: str) -> dict[str, Any] | None:
+    """Read one checksummed JSON record, quarantining anything unreadable.
+
+    Returns ``None`` when the file is absent or was corrupt (already
+    quarantined, with a warning).  Records without a ``checksum`` field were
+    written by an older build and are accepted as-is.
+    """
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as error:
+        _quarantine(path, what, f"unreadable: {error}")
+        return None
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        _quarantine(path, what, f"invalid JSON: {error}")
+        return None
+    if not isinstance(record, dict):
+        _quarantine(path, what, f"expected a JSON object, got {type(record).__name__}")
+        return None
+    stored = record.get("checksum")
+    if stored is not None and stored != _record_checksum(record):
+        _quarantine(path, what, "checksum mismatch")
+        return None
+    return record
+
+
+# --------------------------------------------------------------------------- #
 # Figure/table artifacts                                                      #
 # --------------------------------------------------------------------------- #
 class ResultStore:
@@ -166,12 +243,27 @@ class ResultStore:
             record.update(extra)
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(name)
-        _atomic_write(path, json.dumps(record, indent=2) + "\n")
+        _atomic_write(path, json.dumps(_stamped(record), indent=2) + "\n")
         return path
 
     def load_record(self, name: str) -> dict[str, Any]:
-        """Reload the raw artifact record (envelope + result payload)."""
-        record = json.loads(self.path_for(name).read_text())
+        """Reload the raw artifact record (envelope + result payload).
+
+        A missing artifact raises ``FileNotFoundError`` as before; a corrupt
+        one is quarantined to ``<name>.json.corrupt`` and raises
+        ``ValueError`` naming the quarantine file (artifacts are re-creatable
+        by re-running the experiment, so there is no partial state to resume
+        from).
+        """
+        path = self.path_for(name)
+        if not path.is_file():
+            raise FileNotFoundError(f"no artifact for experiment {name!r} at {path}")
+        record = _read_record(path, "result artifact")
+        if record is None:
+            raise ValueError(
+                f"artifact {name!r} was corrupt and has been quarantined to "
+                f"{path.name}.corrupt; re-run the experiment to regenerate it"
+            )
         version = record.get("schema_version")
         if not isinstance(version, int) or version > STORE_SCHEMA_VERSION:
             raise ValueError(
@@ -207,10 +299,9 @@ class PointCache:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._entries: dict[str, Any] = {}
-        if self.path.is_file():
-            record = json.loads(self.path.read_text())
-            if record.get("schema_version") == STORE_SCHEMA_VERSION:
-                self._entries = record.get("points", {})
+        record = _read_record(self.path, "point cache")
+        if record is not None and record.get("schema_version") == STORE_SCHEMA_VERSION:
+            self._entries = record.get("points", {})
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -236,19 +327,20 @@ class PointCache:
         the atomic replace — a flush never discards points another run
         checkpointed in the meantime.  Both writers compute identical
         outcomes for identical keys, so merge order cannot change a value.
+
+        A corrupt on-disk file is quarantined with a warning (it used to be
+        silently discarded, losing every previously checkpointed point
+        without a trace) and the flush proceeds with this process's entries —
+        the last good state.
         """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        if self.path.is_file():
-            try:
-                record = json.loads(self.path.read_text())
-            except (OSError, json.JSONDecodeError):
-                record = {}
-            if record.get("schema_version") == STORE_SCHEMA_VERSION:
-                merged = record.get("points", {})
-                merged.update(self._entries)
-                self._entries = merged
+        record = _read_record(self.path, "point cache")
+        if record is not None and record.get("schema_version") == STORE_SCHEMA_VERSION:
+            merged = record.get("points", {})
+            merged.update(self._entries)
+            self._entries = merged
         record = {"schema_version": STORE_SCHEMA_VERSION, "points": self._entries}
-        _atomic_write(self.path, json.dumps(record) + "\n")
+        _atomic_write(self.path, json.dumps(_stamped(record)) + "\n")
 
 
 # --------------------------------------------------------------------------- #
@@ -275,9 +367,12 @@ class CampaignManifest:
         self.campaign_hash: str | None = None
         self.rounds_completed = 0
         self.points: dict[str, dict[str, Any]] = {}
-        self.existed = self.path.is_file()
-        if self.existed:
-            record = json.loads(self.path.read_text())
+        record = _read_record(self.path, "campaign manifest")
+        # A corrupt manifest has been quarantined: start fresh.  The campaign
+        # re-runs from round 0, and the global-packet-index RNG streams make
+        # the recomputed counts bit-identical to the lost checkpoint's.
+        self.existed = record is not None
+        if record is not None:
             version = record.get("schema_version")
             if not isinstance(version, int) or version > STORE_SCHEMA_VERSION:
                 raise ValueError(
@@ -344,4 +439,4 @@ class CampaignManifest:
             "points": self.points,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        _atomic_write(self.path, json.dumps(record, indent=2) + "\n")
+        _atomic_write(self.path, json.dumps(_stamped(record), indent=2) + "\n")

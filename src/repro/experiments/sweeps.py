@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.experiments.link import default_engine, packet_success_rate
-from repro.experiments.parallel import parallel_map_chunked
+from repro.experiments.parallel import FailurePolicy, parallel_map_chunked
 from repro.experiments.store import CACHE_ENV_VAR, PointCache, stable_key
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -123,7 +123,9 @@ class _ProgressReporter:
         )
 
 
-def execute_points(fn, tasks, n_workers: int | None = None) -> list:
+def execute_points(
+    fn, tasks, n_workers: int | None = None, policy: FailurePolicy | None = None
+) -> list:
     """Run every sweep task through the shared execution layer.
 
     Outcomes preserve task order whatever the execution order was.  With a
@@ -134,6 +136,14 @@ def execute_points(fn, tasks, n_workers: int | None = None) -> list:
     ``REPRO_PROGRESS`` set, each completed chunk prints one stderr line
     (points done/total, elapsed seconds); cached points count as done
     immediately.
+
+    ``policy`` tunes the supervised executor's failure handling
+    (retry/timeout/degradation — see
+    :class:`repro.experiments.parallel.FailurePolicy`); by default it is
+    resolved from the ``REPRO_MAX_RETRIES``/``REPRO_TASK_TIMEOUT``/...
+    environment variables.  Because every task derives its randomness from
+    seeds it carries, any retried or re-dispatched point returns an outcome
+    bit-identical to an undisturbed run's.
     """
     tasks = list(tasks)
     cache = _point_cache_for(fn)
@@ -151,7 +161,12 @@ def execute_points(fn, tasks, n_workers: int | None = None) -> list:
         # pool-sized chunks when progress is on so lines arrive steadily.
         chunk_size = None if reporter is not None else max(len(tasks), 1)
         return parallel_map_chunked(
-            fn, tasks, n_workers=n_workers, chunk_size=chunk_size, on_chunk=report
+            fn,
+            tasks,
+            n_workers=n_workers,
+            chunk_size=chunk_size,
+            on_chunk=report,
+            policy=policy,
         )
 
     keys = [_point_key(task) for task in tasks]
@@ -170,7 +185,7 @@ def execute_points(fn, tasks, n_workers: int | None = None) -> list:
             reporter.emit(len(chunk_results))
 
     parallel_map_chunked(
-        fn, [tasks[i] for i in pending], n_workers=n_workers, on_chunk=flush
+        fn, [tasks[i] for i in pending], n_workers=n_workers, on_chunk=flush, policy=policy
     )
     return [outcomes[index] for index in range(len(tasks))]
 

@@ -1,0 +1,570 @@
+"""Fault-tolerant execution: supervised pool, fault injection, crash/resume.
+
+The robustness acceptance tests live here: under injected faults (task
+exception, worker kill, task hang, corrupt cache/manifest files) sweeps and
+campaigns complete with series/counts bit-identical to fault-free runs, and
+a campaign SIGKILLed mid-round then ``--resume``\\ d reproduces exact packet
+counts — on both link engines and with 1 or 2 workers.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    CampaignExperiment,
+    CampaignSpec,
+    DeploymentSpec,
+    ExperimentSpec,
+    InterfererSpec,
+    PrecisionSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    run_experiment_spec,
+)
+from repro.api.experiment import expand_psr_points
+from repro.campaigns import run_campaign
+from repro.experiments.config import ExperimentProfile
+from repro.experiments.faults import FAULTS_ENV_VAR, FaultPlan, InjectedFault
+from repro.experiments.parallel import (
+    BACKOFF_ENV_VAR,
+    DEGRADE_ENV_VAR,
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    FailurePolicy,
+    SweepExecutionError,
+    SweepTaskError,
+    parallel_map,
+    parallel_map_chunked,
+    reset_supervisor_stats,
+    supervisor_stats,
+)
+from repro.experiments.runner import run_experiment
+from repro.experiments.store import CACHE_ENV_VAR, CampaignManifest
+from repro.experiments.sweeps import execute_points, run_sweep_point
+
+MICRO = ExperimentProfile(name="micro", n_packets=2, payload_length=30, n_sir_points=2)
+
+#: Zero-delay retries for every test: backoff timing is policy, not behaviour.
+FAST = FailurePolicy(backoff_base=0.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_supervisor_stats()
+    yield
+    reset_supervisor_stats()
+
+
+def _plan(tmp_path, tasks, **kwargs):
+    targets = tuple(sorted((int(i), kind) for i, kind in tasks.items()))
+    kwargs.setdefault("state_dir", str(tmp_path / "fault-state"))
+    return FaultPlan(tasks=targets, **kwargs)
+
+
+def _double(value):
+    return {"doubled": value * 2}
+
+
+def _describe(task):
+    return type(task).__name__
+
+
+# --------------------------------------------------------------------------- #
+# FaultPlan                                                                   #
+# --------------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_parse_round_trip(self, tmp_path):
+        plan = FaultPlan.parse(
+            json.dumps({"tasks": {"3": "kill", "1": "raise"}, "state_dir": str(tmp_path)})
+        )
+        assert plan.tasks == ((1, "raise"), (3, "kill"))
+        assert plan.kind_for(3) == "kill" and plan.kind_for(1) == "raise"
+        assert plan.kind_for(0) is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json",
+            '["list"]',
+            '{"bogus_field": 1}',
+            '{"tasks": {"0": "explode"}}',
+            '{"rate": 0.5}',  # a rate needs a seed
+            '{"tasks": {"x": "raise"}}',
+            '{"times": 0}',
+            '{"hang_seconds": 0}',
+        ],
+    )
+    def test_parse_rejects_malformed_plans(self, payload):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(payload)
+
+    def test_from_env_unset_means_no_faults(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV_VAR, raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_seeded_rate_is_deterministic(self, tmp_path):
+        a = _plan(tmp_path, {}, seed=7, rate=0.25)
+        b = _plan(tmp_path, {}, seed=7, rate=0.25)
+        picks = [a.kind_for(i) for i in range(200)]
+        assert picks == [b.kind_for(i) for i in range(200)]
+        hits = sum(1 for kind in picks if kind is not None)
+        assert 20 <= hits <= 80  # ~25% of 200, deterministic but not degenerate
+
+    def test_injection_bounded_by_times(self, tmp_path):
+        plan = _plan(tmp_path, {"0": "raise"}, times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                plan.apply(0, in_pool=False)
+        plan.apply(0, in_pool=False)  # claims exhausted: runs clean
+
+    def test_claims_shared_across_plan_copies(self, tmp_path):
+        # Same state_dir == same ledger, as when a plan pickles into workers.
+        with pytest.raises(InjectedFault):
+            _plan(tmp_path, {"4": "raise"}).apply(4, in_pool=False)
+        # A fresh copy of the plan sees the spent claim and runs clean.
+        _plan(tmp_path, {"4": "raise"}).apply(4, in_pool=False)
+
+    def test_kill_outside_pool_raises_instead_of_exiting(self, tmp_path):
+        plan = _plan(tmp_path, {"0": "kill"})
+        with pytest.raises(InjectedFault, match="raising instead of killing"):
+            plan.apply(0, in_pool=False)
+
+
+# --------------------------------------------------------------------------- #
+# FailurePolicy                                                               #
+# --------------------------------------------------------------------------- #
+class TestFailurePolicy:
+    def test_defaults_and_validation(self):
+        policy = FailurePolicy()
+        assert policy.max_retries >= 1 and policy.task_timeout is None
+        with pytest.raises(ValueError):
+            FailurePolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FailurePolicy(task_timeout=0)
+
+    def test_backoff_is_exponential(self):
+        policy = FailurePolicy(backoff_base=0.5, backoff_factor=2.0)
+        assert [policy.backoff_delay(n) for n in range(3)] == [0.5, 1.0, 2.0]
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV_VAR, "5")
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "2.5")
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        monkeypatch.setenv(DEGRADE_ENV_VAR, "no")
+        policy = FailurePolicy.from_env()
+        assert policy.max_retries == 5
+        assert policy.task_timeout == 2.5
+        assert policy.backoff_base == 0.0
+        assert policy.degrade_serial is False
+        # Explicit arguments beat the environment.
+        assert FailurePolicy.from_env(max_retries=1).max_retries == 1
+
+    @pytest.mark.parametrize(
+        "var,value",
+        [
+            (RETRIES_ENV_VAR, "many"),
+            (RETRIES_ENV_VAR, "-1"),
+            (TIMEOUT_ENV_VAR, "0"),
+            (TIMEOUT_ENV_VAR, "soon"),
+            (BACKOFF_ENV_VAR, "-0.1"),
+            (DEGRADE_ENV_VAR, "maybe"),
+        ],
+    )
+    def test_from_env_rejects_malformed_values_naming_the_source(
+        self, monkeypatch, var, value
+    ):
+        monkeypatch.setenv(var, value)
+        with pytest.raises(ValueError, match=var):
+            FailurePolicy.from_env()
+
+
+# --------------------------------------------------------------------------- #
+# Supervised executor                                                         #
+# --------------------------------------------------------------------------- #
+class TestSupervisedExecutor:
+    def test_serial_retry_recovers_task_exception(self, tmp_path):
+        plan = _plan(tmp_path, {"1": "raise"})
+        results = parallel_map(_double, [1, 2, 3], fault_plan=plan, policy=FAST)
+        assert results == [{"doubled": 2}, {"doubled": 4}, {"doubled": 6}]
+        assert supervisor_stats().retries == 1
+
+    def test_retry_budget_exhaustion_names_the_task(self, tmp_path):
+        plan = _plan(tmp_path, {"2": "raise"}, times=5)
+        with pytest.raises(SweepTaskError, match="task 2") as excinfo:
+            parallel_map(_double, [1, 2, 3], fault_plan=plan, policy=FAST)
+        assert excinfo.value.ordinal == 2
+        assert excinfo.value.attempts == FAST.max_retries + 1
+
+    def test_pool_survives_task_exception(self, tmp_path):
+        plan = _plan(tmp_path, {"1": "raise"})
+        results = parallel_map(
+            _double, list(range(6)), n_workers=2, fault_plan=plan, policy=FAST
+        )
+        assert results == [{"doubled": v * 2} for v in range(6)]
+        assert supervisor_stats().retries == 1
+        assert supervisor_stats().pool_respawns == 0
+
+    def test_worker_kill_respawns_pool_and_completes(self, tmp_path):
+        plan = _plan(tmp_path, {"2": "kill"})
+        results = parallel_map(
+            _double, list(range(6)), n_workers=2, fault_plan=plan, policy=FAST
+        )
+        assert results == [{"doubled": v * 2} for v in range(6)]
+        assert supervisor_stats().pool_respawns == 1
+        assert supervisor_stats().degraded == 0
+
+    def test_repeated_pool_death_degrades_to_serial(self, tmp_path):
+        # Two kills, one respawn in the budget: the second death degrades,
+        # and the remaining tasks (their claims spent) finish in-process.
+        plan = _plan(tmp_path, {"1": "kill", "4": "kill"})
+        results = parallel_map(
+            _double, list(range(6)), n_workers=2, fault_plan=plan, policy=FAST
+        )
+        assert results == [{"doubled": v * 2} for v in range(6)]
+        assert supervisor_stats().pool_respawns == 1
+        assert supervisor_stats().degraded == 1
+
+    def test_degradation_disabled_raises(self, tmp_path):
+        plan = _plan(tmp_path, {"0": "kill"})
+        policy = replace(FAST, max_pool_respawns=0, degrade_serial=False)
+        with pytest.raises(SweepExecutionError, match="serial degradation is disabled"):
+            parallel_map(_double, list(range(4)), n_workers=2, fault_plan=plan, policy=policy)
+
+    def test_hung_task_times_out_and_is_redispatched(self, tmp_path):
+        plan = _plan(tmp_path, {"1": "hang"}, hang_seconds=30.0)
+        policy = replace(FAST, task_timeout=1.0)
+        results = parallel_map(
+            _double, list(range(4)), n_workers=2, fault_plan=plan, policy=policy
+        )
+        assert results == [{"doubled": v * 2} for v in range(4)]
+        assert supervisor_stats().timeouts >= 1
+
+    def test_unpicklable_task_mid_list_falls_back_serial_for_that_task(self):
+        # Only tasks[0] is probed; the lambda at index 2 must not crash the
+        # pool — it is named and executed in the parent instead.
+        tasks = [1, 2.5, lambda: None, "four"]
+        with pytest.warns(RuntimeWarning, match="could not cross the process boundary"):
+            results = parallel_map(_describe, tasks, n_workers=2, policy=FAST)
+        assert results == ["int", "float", "function", "str"]
+        assert supervisor_stats().pickling_fallbacks == 1
+
+    def test_fault_plan_resolved_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps({"tasks": {"0": "raise"}, "state_dir": str(tmp_path / "f")}),
+        )
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        assert parallel_map(_double, [7]) == [{"doubled": 14}]
+        assert supervisor_stats().retries == 1
+
+    def test_on_chunk_fires_per_chunk_under_faults(self, tmp_path):
+        plan = _plan(tmp_path, {"1": "raise", "3": "raise"})
+        flushed = []
+        parallel_map_chunked(
+            _double,
+            list(range(5)),
+            chunk_size=2,
+            on_chunk=lambda start, chunk: flushed.append((start, len(chunk))),
+            fault_plan=plan,
+            policy=FAST,
+        )
+        assert flushed == [(0, 2), (2, 2), (4, 1)]
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-level bit-identity under faults                                       #
+# --------------------------------------------------------------------------- #
+def _mini_psr_points(engine):
+    spec = ExperimentSpec(
+        name="mini-cci",
+        figure="Custom",
+        title="mini CCI sweep",
+        scenario=ScenarioSpec(interferers=(InterfererSpec(kind="cci"),)),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(axes=(SweepAxis("sir_db", values=(5.0, 10.0, 15.0, 20.0)),)),
+        series_label="{receiver}",
+    ).resolve(MICRO)
+    points, _ = expand_psr_points(spec)
+    return [replace(point, engine=engine) for point in points]
+
+
+def _tiny_fig13_simulated_spec():
+    return ExperimentSpec(
+        name="fig13-tiny",
+        figure="Figure 13",
+        title="tiny simulated deployment",
+        kind="analysis",
+        analysis="fig13-neighbor-cdf-simulated",
+        params={
+            "deployment": DeploymentSpec(n_floors=1, aps_per_floor=3).to_dict(),
+            "n_realizations": 2,
+        },
+    )
+
+
+class TestSweepBitIdentityUnderFaults:
+    @pytest.mark.parametrize("engine", ["fast", "reference"])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_kill_mid_chunk_bit_identical(
+        self, tmp_path, monkeypatch, engine, workers
+    ):
+        points = _mini_psr_points(engine)
+        clean = execute_points(run_sweep_point, points, n_workers=workers)
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps(
+                {
+                    "tasks": {"1": "kill", "2": "raise"},
+                    "state_dir": str(tmp_path / "faults"),
+                }
+            ),
+        )
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        faulted = execute_points(run_sweep_point, points, n_workers=workers)
+        assert faulted == clean
+
+    def test_fig4_bit_identical_under_task_exception(self, tmp_path, monkeypatch):
+        clean = run_experiment("fig4", MICRO)
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps({"tasks": {"0": "raise"}, "state_dir": str(tmp_path / "faults")}),
+        )
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        assert run_experiment("fig4", MICRO) == clean
+        assert supervisor_stats().retries >= 1
+
+    def test_fig13_simulated_bit_identical_under_worker_kill(self, tmp_path, monkeypatch):
+        spec = _tiny_fig13_simulated_spec()
+        clean = run_experiment_spec(spec, MICRO, n_workers=2)
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps({"tasks": {"1": "kill"}, "state_dir": str(tmp_path / "faults")}),
+        )
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        assert run_experiment_spec(spec, MICRO, n_workers=2) == clean
+        assert supervisor_stats().pool_respawns == 1
+
+    def test_corrupt_point_cache_quarantined_and_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, str(tmp_path / "cache"))
+        points = _mini_psr_points("fast")
+        clean = execute_points(run_sweep_point, points)
+        cache_files = list((tmp_path / "cache").glob("*.json"))
+        assert cache_files
+        cache_files[0].write_text("{torn mid-write")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            recovered = execute_points(run_sweep_point, points)
+        assert recovered == clean
+        assert cache_files[0].with_name(cache_files[0].name + ".corrupt").is_file()
+
+
+# --------------------------------------------------------------------------- #
+# Campaign crash/resume                                                       #
+# --------------------------------------------------------------------------- #
+def _mini_campaign():
+    experiment = ExperimentSpec(
+        name="mini-cci",
+        figure="Custom",
+        title="mini CCI sweep",
+        scenario=ScenarioSpec(interferers=(InterfererSpec(kind="cci"),)),
+        receivers=(ReceiverSpec("standard"), ReceiverSpec("cprecycle")),
+        sweep=SweepSpec(axes=(SweepAxis("sir_db", values=(5.0, 10.0, 15.0, 20.0, 25.0)),)),
+        series_label="{receiver}",
+    )
+    return CampaignSpec(
+        name="fault-campaign",
+        experiments=(CampaignExperiment(spec=experiment),),
+        precision=PrecisionSpec(ci_halfwidth_pct=30.0, min_packets=4, growth=2.0),
+        profile="quick",
+    )
+
+
+class TestCampaignCrashRecovery:
+    def test_campaign_bit_identical_under_injected_faults(self, tmp_path, monkeypatch):
+        spec = _mini_campaign()
+        clean = run_campaign(spec, tmp_path / "clean")
+        monkeypatch.setenv(
+            FAULTS_ENV_VAR,
+            json.dumps(
+                {
+                    "tasks": {"1": "kill", "3": "raise"},
+                    "state_dir": str(tmp_path / "faults"),
+                }
+            ),
+        )
+        monkeypatch.setenv(BACKOFF_ENV_VAR, "0")
+        faulted = run_campaign(spec, tmp_path / "faulted", n_workers=2)
+
+        clean_manifest = CampaignManifest(tmp_path / "clean" / "manifest.json")
+        fault_manifest = CampaignManifest(tmp_path / "faulted" / "manifest.json")
+        assert fault_manifest.points == clean_manifest.points
+        assert faulted.summary["experiments"] == clean.summary["experiments"]
+        recovery = faulted.summary["totals"]["recovery"]
+        assert recovery["pool_respawns"] <= FailurePolicy().max_pool_respawns
+        assert recovery["retries"] <= FailurePolicy().max_retries * 2
+        assert clean.summary["totals"]["recovery"] == {
+            "retries": 0,
+            "timeouts": 0,
+            "pool_respawns": 0,
+            "pickling_fallbacks": 0,
+            "degraded": 0,
+        }
+
+    def test_corrupt_manifest_quarantined_and_rebuilt_bit_identical(self, tmp_path):
+        spec = _mini_campaign()
+        clean = run_campaign(spec, tmp_path / "clean")
+        manifest_path = tmp_path / "clean" / "manifest.json"
+        clean_points = CampaignManifest(manifest_path).points
+        good = manifest_path.read_text()
+        manifest_path.write_text(good[: len(good) // 2])  # torn write
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            rebuilt = run_campaign(spec, tmp_path / "clean", resume=True)
+        assert manifest_path.with_name("manifest.json.corrupt").is_file()
+        assert rebuilt.summary["experiments"] == clean.summary["experiments"]
+        # The rebuilt manifest (recomputed through the still-good point
+        # cache) reproduces the lost checkpoint exactly.
+        assert CampaignManifest(manifest_path).points == clean_points
+        assert rebuilt.summary["totals"]["adaptive_packets"] == (
+            clean.summary["totals"]["adaptive_packets"]
+        )
+
+    @pytest.mark.parametrize("resume_workers", [1, 2])
+    def test_sigkill_mid_round_then_resume_bit_identical(self, tmp_path, resume_workers):
+        spec = _mini_campaign()
+        clean = run_campaign(spec, tmp_path / "clean")
+
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(spec.to_json())
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        script = (
+            "import functools, os, signal, sys\n"
+            "sys.path.insert(0, sys.argv[3])\n"
+            "import repro.campaigns.scheduler as sched\n"
+            "from repro.api import CampaignSpec\n"
+            "real = sched.run_sweep_point_counts\n"
+            "calls = {'n': 0}\n"
+            "@functools.wraps(real)\n"
+            "def killing(point):\n"
+            "    calls['n'] += 1\n"
+            "    if calls['n'] == 5:  # serial chunk size is 4: one chunk flushed\n"
+            "        os.kill(os.getpid(), signal.SIGKILL)\n"
+            "    return real(point)\n"
+            "sched.run_sweep_point_counts = killing\n"
+            "spec = CampaignSpec.from_json(open(sys.argv[1]).read())\n"
+            "sched.run_campaign(spec, sys.argv[2])\n"
+        )
+        workspace = tmp_path / "killed"
+        env = {
+            key: value
+            for key, value in os.environ.items()
+            if not key.startswith("REPRO_")
+        }
+        process = subprocess.run(
+            [sys.executable, "-c", script, str(spec_path), str(workspace), src],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert process.returncode == -signal.SIGKILL, process.stderr
+        # The killed run checkpointed part of round 1 in the point cache.
+        assert (workspace / ".cache").is_dir()
+
+        resumed = run_campaign(spec, workspace, resume=True, n_workers=resume_workers)
+
+        clean_manifest = CampaignManifest(tmp_path / "clean" / "manifest.json")
+        resumed_manifest = CampaignManifest(workspace / "manifest.json")
+        assert resumed_manifest.points == clean_manifest.points
+        assert resumed.summary["experiments"] == clean.summary["experiments"]
+        assert resumed.summary["totals"]["adaptive_packets"] == (
+            clean.summary["totals"]["adaptive_packets"]
+        )
+        # Recovery was resumption from checkpoints, not retry churn.
+        assert resumed.summary["totals"]["recovery"]["retries"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# CLI plumbing                                                                #
+# --------------------------------------------------------------------------- #
+class TestFailureCli:
+    def test_runner_threads_policy_flags_through_env(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "QUICK_PROFILE", MICRO)
+        seen = {}
+
+        def probe(spec, profile):
+            seen["policy"] = FailurePolicy.from_env()
+            return run_experiment_spec(spec, profile)
+
+        monkeypatch.setattr(runner, "run_experiment_spec", probe)
+        assert runner.main(["fig4", "--max-retries", "7", "--task-timeout", "90"]) == 0
+        assert seen["policy"].max_retries == 7
+        assert seen["policy"].task_timeout == 90.0
+        # The overrides are restored afterwards.
+        assert RETRIES_ENV_VAR not in os.environ
+        assert TIMEOUT_ENV_VAR not in os.environ
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig4", "--max-retries", "-2"],
+            ["fig4", "--task-timeout", "0"],
+        ],
+    )
+    def test_runner_rejects_malformed_policy_flags(self, argv, capsys):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(argv)
+        assert excinfo.value.code == 2
+
+    def test_runner_rejects_malformed_policy_env(self, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        monkeypatch.setenv(RETRIES_ENV_VAR, "lots")
+        with pytest.raises(SystemExit) as excinfo:
+            runner.main(["fig4"])
+        assert excinfo.value.code == 2
+        assert RETRIES_ENV_VAR in capsys.readouterr().err
+
+    def test_campaign_cli_accepts_policy_flags(self, tmp_path, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(_mini_campaign().to_json())
+        code = runner_main(
+            [
+                "campaign",
+                "--spec",
+                str(spec_path),
+                "--out",
+                str(tmp_path / "ws"),
+                "--max-retries",
+                "3",
+                "--task-timeout",
+                "120",
+                "--report",
+                "json",
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["totals"]["recovery"]["retries"] == 0
+        assert RETRIES_ENV_VAR not in os.environ
+
+    def test_campaign_cli_rejects_malformed_policy_flags(self, tmp_path):
+        from repro.experiments.runner import main as runner_main
+
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(_mini_campaign().to_json())
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["campaign", "--spec", str(spec_path), "--max-retries", "-1"])
+        assert excinfo.value.code == 2

@@ -260,6 +260,76 @@ class TestTwoProcessCacheWriters:
         assert mine.get("other-process") == 42
 
 
+class TestChecksumQuarantine:
+    def test_saved_records_carry_a_verifiable_checksum(self, tmp_path):
+        from repro.experiments.store import _record_checksum
+
+        store = ResultStore(tmp_path)
+        store.save("f", FigureResult("F", "t", "x", [1], {"a": [2.0]}))
+        record = json.loads(store.path_for("f").read_text())
+        assert record["checksum"] == _record_checksum(record)
+
+    def test_legacy_record_without_checksum_accepted(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"schema_version": 1, "points": {"old": 7}}))
+        assert PointCache(path).get("old") == 7
+
+    def test_corrupt_artifact_quarantined_and_named(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save("f", FigureResult("F", "t", "x", [1], {"a": [2.0]}))
+        store.path_for("f").write_text('{"schema_version":')  # torn write
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            with pytest.raises(ValueError, match="quarantined"):
+                store.load("f")
+        assert (tmp_path / "f.json.corrupt").is_file()
+        assert store.names() == []  # the quarantined file is not an artifact
+
+    def test_corrupt_cache_on_load_starts_empty_and_recovers(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("not json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = PointCache(path)
+        assert len(cache) == 0
+        assert (tmp_path / "cache.json.corrupt").is_file()
+        cache.update({"fresh": 1})
+        assert PointCache(path).get("fresh") == 1
+
+    def test_flush_quarantines_corrupt_file_instead_of_silent_loss(self, tmp_path):
+        """Regression: a corrupt on-disk cache used to be silently replaced,
+        losing every previously checkpointed point without a trace."""
+        path = tmp_path / "cache.json"
+        cache = PointCache(path)
+        cache.update({"kept": 1})
+        path.write_text('{"points": {"kept"')  # torn by a crash mid-write
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache.update({"later": 2})
+        # This process's view survives, and the torn file is preserved for
+        # inspection instead of vanishing.
+        merged = json.loads(path.read_text())["points"]
+        assert merged == {"kept": 1, "later": 2}
+        assert (tmp_path / "cache.json.corrupt").is_file()
+
+    def test_tampered_cache_fails_checksum_and_quarantines(self, tmp_path):
+        path = tmp_path / "cache.json"
+        PointCache(path).update({"a": 1})
+        record = json.loads(path.read_text())
+        record["points"]["a"] = 999  # bit-flip without restamping
+        path.write_text(json.dumps(record))
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            cache = PointCache(path)
+        assert "a" not in cache
+
+    def test_corrupt_manifest_quarantined_as_fresh_start(self, tmp_path):
+        from repro.experiments.store import CampaignManifest
+
+        path = tmp_path / "manifest.json"
+        path.write_text("{{{")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            manifest = CampaignManifest(path)
+        assert not manifest.existed
+        assert (tmp_path / "manifest.json.corrupt").is_file()
+
+
 class TestCampaignManifest:
     def _manifest(self, tmp_path):
         from repro.experiments.store import CampaignManifest
