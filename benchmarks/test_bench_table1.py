@@ -1,7 +1,6 @@
 """Benchmark / regeneration of Table 1 (cyclic prefix provisioning)."""
 
 from repro.experiments import table01_cp
-from repro.experiments.results import format_table
 
 
 def test_table1_rows(benchmark, report):

@@ -196,6 +196,7 @@ class CampaignExperiment:
             return self.name
         if self.builtin is not None:
             return self.builtin
+        assert self.spec is not None  # __post_init__: exactly one source set
         return self.spec.name
 
     def build(self) -> ExperimentSpec:
@@ -218,6 +219,7 @@ class CampaignExperiment:
         elif self.spec is not None:
             spec = self.spec
         else:
+            assert self.deployment is not None  # exactly one source set
             params: dict[str, Any] = {"deployment": self.deployment.to_dict()}
             if self.n_realizations is not None:
                 params["n_realizations"] = self.n_realizations

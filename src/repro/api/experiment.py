@@ -99,9 +99,11 @@ def _apply_axis(
     return replace(scenario, **{field: value}), receivers
 
 
-def _x_values(spec: ExperimentSpec) -> list:
+def _x_values(spec: ExperimentSpec) -> list[Any]:
     """The figure's x values, after the optional display transform."""
+    assert spec.sweep is not None and spec.scenario is not None  # psr-validated
     values = spec.sweep.x_axis.values
+    assert values is not None  # the spec is resolved: spans are materialised
     if spec.x_transform is None:
         return list(values)
     allocation = spec.scenario.sender_allocation()
@@ -123,11 +125,17 @@ def expand_psr_points(spec: ExperimentSpec) -> tuple[list[SweepPoint], list[dict
     same expansion so a figure's grid cells are identical — and therefore
     dedupe — whether they run standalone or inside a campaign.
     """
+    assert spec.sweep is not None and spec.scenario is not None  # psr-validated
+    assert spec.n_packets is not None and spec.seed is not None  # resolved
     axes = spec.sweep.axes
     fields = [axis.field for axis in axes]
+    grids: list[tuple[Any, ...]] = []
+    for axis in axes:
+        assert axis.values is not None  # the spec is resolved: spans materialised
+        grids.append(axis.values)
     points: list[SweepPoint] = []
     contexts: list[dict[str, Any]] = []
-    for combo in itertools.product(*(axis.values for axis in axes)):
+    for combo in itertools.product(*grids):
         scenario, receivers = spec.scenario, spec.receivers
         for field, value in zip(fields, combo):
             scenario, receivers = _apply_axis(scenario, receivers, field, value)
@@ -215,8 +223,10 @@ def run_experiment_spec(
                 payload_length=spec.payload_length,
                 seed=spec.seed,
             )
+        assert spec.analysis is not None  # analysis-validated
         runner = resolve_analysis(spec.analysis)
-        return runner(profile, n_workers=n_workers, **(spec.params or {}))
+        result: FigureResult = runner(profile, n_workers=n_workers, **(spec.params or {}))
+        return result
 
     points, contexts = expand_psr_points(spec)
     outcomes = execute_points(run_sweep_point, points, n_workers=n_workers)

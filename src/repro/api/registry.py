@@ -40,6 +40,7 @@ from __future__ import annotations
 import importlib
 import inspect
 from collections.abc import Callable
+from typing import Any
 
 from repro.api.specs import DeploymentSpec, ReceiverSpec, SpecError
 from repro.core.config import CPRecycleConfig
@@ -64,10 +65,22 @@ __all__ = [
     "build_deployment",
 ]
 
-_RECEIVER_BUILDERS: dict[str, Callable[..., OfdmReceiverBase]] = {}
+#: A receiver builder: ``builder(allocation, n_segments, **options)``.
+ReceiverBuilder = Callable[..., OfdmReceiverBase]
+
+#: An analysis runner: ``runner(profile, n_workers=..., **params)`` returning
+#: a :class:`repro.experiments.results.FigureResult`.
+AnalysisRunner = Callable[..., Any]
+
+#: A topology builder: ``builder(spec)`` returning a Deployment.
+TopologyBuilder = Callable[[DeploymentSpec], Deployment]
+
+_RECEIVER_BUILDERS: dict[str, ReceiverBuilder] = {}
 
 
-def register_receiver(name: str, *, overwrite: bool = False) -> Callable:
+def register_receiver(
+    name: str, *, overwrite: bool = False
+) -> Callable[[ReceiverBuilder], ReceiverBuilder]:
     """Register a receiver builder under ``name`` (decorator).
 
     The builder is called as ``builder(allocation, n_segments, **options)``
@@ -75,7 +88,7 @@ def register_receiver(name: str, *, overwrite: bool = False) -> Callable:
     Re-registering an existing name raises unless ``overwrite=True``.
     """
 
-    def decorator(builder: Callable[..., OfdmReceiverBase]) -> Callable[..., OfdmReceiverBase]:
+    def decorator(builder: ReceiverBuilder) -> ReceiverBuilder:
         if not overwrite and name in _RECEIVER_BUILDERS:
             raise ValueError(
                 f"receiver {name!r} is already registered; pass overwrite=True to replace it"
@@ -131,29 +144,29 @@ def build_receiver(spec: ReceiverSpec, allocation: OfdmAllocation) -> OfdmReceiv
 # Builtin receivers (the paper's receiver set)                                #
 # --------------------------------------------------------------------------- #
 @register_receiver("standard")
-def _build_standard(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+def _build_standard(allocation: OfdmAllocation, n_segments: int, **options: Any) -> OfdmReceiverBase:
     return StandardOfdmReceiver(**options)
 
 
 @register_receiver("naive")
-def _build_naive(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+def _build_naive(allocation: OfdmAllocation, n_segments: int, **options: Any) -> OfdmReceiverBase:
     return NaiveSegmentReceiver(max_segments=n_segments, **options)
 
 
 @register_receiver("oracle")
-def _build_oracle(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+def _build_oracle(allocation: OfdmAllocation, n_segments: int, **options: Any) -> OfdmReceiverBase:
     return OracleSegmentReceiver(max_segments=n_segments, **options)
 
 
 @register_receiver("cprecycle")
-def _build_cprecycle(allocation: OfdmAllocation, n_segments: int, **options) -> OfdmReceiverBase:
+def _build_cprecycle(allocation: OfdmAllocation, n_segments: int, **options: Any) -> OfdmReceiverBase:
     return CPRecycleReceiver(CPRecycleConfig(max_segments=n_segments, **options))
 
 
 # --------------------------------------------------------------------------- #
 # Analysis runners (the non-PSR figures)                                      #
 # --------------------------------------------------------------------------- #
-_ANALYSIS_RUNNERS: dict[str, Callable] = {}
+_ANALYSIS_RUNNERS: dict[str, AnalysisRunner] = {}
 
 #: Builtin analysis names -> defining module, imported lazily so a spec
 #: loaded from JSON resolves without the caller importing figure modules.
@@ -166,7 +179,9 @@ _BUILTIN_ANALYSIS_MODULES: dict[str, str] = {
 }
 
 
-def register_analysis(name: str, *, overwrite: bool = False) -> Callable:
+def register_analysis(
+    name: str, *, overwrite: bool = False
+) -> Callable[[AnalysisRunner], AnalysisRunner]:
     """Register an analysis runner under ``name`` (decorator).
 
     The runner is called as ``runner(profile, n_workers=..., **params)``
@@ -174,7 +189,7 @@ def register_analysis(name: str, *, overwrite: bool = False) -> Callable:
     :class:`repro.experiments.results.FigureResult`.
     """
 
-    def decorator(runner: Callable) -> Callable:
+    def decorator(runner: AnalysisRunner) -> AnalysisRunner:
         if not overwrite and name in _ANALYSIS_RUNNERS:
             raise ValueError(
                 f"analysis {name!r} is already registered; pass overwrite=True to replace it"
@@ -190,7 +205,7 @@ def available_analyses() -> list[str]:
     return sorted(set(_ANALYSIS_RUNNERS) | set(_BUILTIN_ANALYSIS_MODULES))
 
 
-def resolve_analysis(name: str) -> Callable:
+def resolve_analysis(name: str) -> AnalysisRunner:
     """Look up an analysis runner, importing its builtin module if needed."""
     if name not in _ANALYSIS_RUNNERS and name in _BUILTIN_ANALYSIS_MODULES:
         importlib.import_module(_BUILTIN_ANALYSIS_MODULES[name])
@@ -206,10 +221,12 @@ def resolve_analysis(name: str) -> Callable:
 # --------------------------------------------------------------------------- #
 # Network topologies (the Fig. 13 deployment layouts)                         #
 # --------------------------------------------------------------------------- #
-_TOPOLOGY_BUILDERS: dict[str, Callable[[DeploymentSpec], Deployment]] = {}
+_TOPOLOGY_BUILDERS: dict[str, TopologyBuilder] = {}
 
 
-def register_topology(name: str, *, overwrite: bool = False) -> Callable:
+def register_topology(
+    name: str, *, overwrite: bool = False
+) -> Callable[[TopologyBuilder], TopologyBuilder]:
     """Register a deployment-topology builder under ``name`` (decorator).
 
     The builder is called as ``builder(spec)`` with the
@@ -219,7 +236,7 @@ def register_topology(name: str, *, overwrite: bool = False) -> Callable:
     name raises unless ``overwrite=True``.
     """
 
-    def decorator(builder: Callable[[DeploymentSpec], Deployment]) -> Callable:
+    def decorator(builder: TopologyBuilder) -> TopologyBuilder:
         if not overwrite and name in _TOPOLOGY_BUILDERS:
             raise ValueError(
                 f"topology {name!r} is already registered; pass overwrite=True to replace it"
@@ -235,7 +252,7 @@ def available_topologies() -> list[str]:
     return sorted(_TOPOLOGY_BUILDERS)
 
 
-def resolve_topology(name: str) -> Callable[[DeploymentSpec], Deployment]:
+def resolve_topology(name: str) -> TopologyBuilder:
     """Look up a topology builder by name."""
     builder = _TOPOLOGY_BUILDERS.get(name)
     if builder is None:
@@ -251,7 +268,7 @@ def build_deployment(spec: DeploymentSpec) -> Deployment:
     return resolve_topology(spec.topology)(spec)
 
 
-def _deployment_geometry(spec: DeploymentSpec) -> dict:
+def _deployment_geometry(spec: DeploymentSpec) -> dict[str, Any]:
     return dict(
         n_floors=spec.n_floors,
         aps_per_floor=spec.aps_per_floor,

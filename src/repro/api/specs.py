@@ -35,7 +35,11 @@ import math
 import re
 import string
 from dataclasses import MISSING, dataclass, field, fields, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # runtime imports of repro.network would be circular
+    from repro.network.building import Deployment
+    from repro.network.pathloss import IndoorPathLossModel
 
 from repro.channel.interference import (
     InterfererSpec as RealizableInterferer,
@@ -86,7 +90,7 @@ def _set(obj: Any, name: str, value: Any) -> None:
     object.__setattr__(obj, name, value)
 
 
-def _from_payload(cls, payload: dict[str, Any], path: str) -> dict[str, Any]:
+def _from_payload(cls: type[Any], payload: dict[str, Any], path: str) -> dict[str, Any]:
     """Validate payload keys against ``cls`` fields; reject typos and missing
     required fields eagerly (a SpecError, never a raw TypeError)."""
     if not isinstance(payload, dict):
@@ -169,11 +173,13 @@ class ChannelSpec:
         if self.kind == "flat":
             return FlatChannel()
         if self.kind == "exponential":
+            assert self.delay_spread_ns is not None  # enforced in __post_init__
             return ExponentialMultipathChannel(
                 delay_spread_s=self.delay_spread_ns * 1e-9,
                 sample_rate_hz=sample_rate_hz,
                 rician_k_db=self.rician_k_db,
             )
+        assert self.taps is not None  # enforced in __post_init__
         return StaticTapChannel(taps=tuple(complex(re_, im) for re_, im in self.taps))
 
     def to_dict(self) -> dict[str, Any]:
@@ -442,11 +448,15 @@ class ScenarioSpec:
         # figures calibrate bit-identically while n >= 3 splits correctly.
         shared_sir = None
         if shared:
+            assert self.sir_db is not None  # enforced by the check above
             shared_sir = self.sir_db + 10.0 * 0.30103 * math.log2(len(shared))
-        interferers = [
-            spec.build(sender, shared_sir if spec.sir_db is None else spec.sir_db, index)
-            for index, spec in enumerate(self.interferers)
-        ]
+        interferers = []
+        for index, spec in enumerate(self.interferers):
+            sir_db = spec.sir_db
+            if sir_db is None:
+                assert shared_sir is not None  # spec is in `shared`
+                sir_db = shared_sir
+            interferers.append(spec.build(sender, sir_db, index))
         return Scenario(
             sender,
             mcs_name=self.mcs_name,
@@ -541,7 +551,7 @@ class DeploymentSpec:
         """Total number of access points the spec describes."""
         return self.n_floors * self.aps_per_floor
 
-    def pathloss_model(self):
+    def pathloss_model(self) -> "IndoorPathLossModel":
         """The indoor path-loss model the spec's parameters describe."""
         # Imported lazily: repro.network.links consumes this module, so a
         # module-level import of repro.network here would be circular.
@@ -554,7 +564,7 @@ class DeploymentSpec:
             shadowing_sigma_db=self.shadowing_sigma_db,
         )
 
-    def build(self):
+    def build(self) -> "Deployment":
         """Resolve the topology registry into a runnable deployment.
 
         Resolution is deliberately lazy (unlike the rest of the spec's eager
@@ -738,6 +748,7 @@ class SweepAxis:
         """Materialise a ``span`` axis into explicit values."""
         if self.values is not None:
             return self
+        assert self.span is not None  # __post_init__: exactly one of values/span
         n_points = self.n_points if self.n_points is not None else n_points_default
         return SweepAxis(field=self.field, values=tuple(sir_axis(self.span[0], self.span[1], n_points)))
 
@@ -792,6 +803,14 @@ class SweepSpec:
     def from_dict(cls, payload: dict[str, Any], path: str = "sweep") -> "SweepSpec":
         data = dict(_from_payload(cls, payload, path))
         return cls(axes=tuple(data.get("axes") or ()))
+
+
+def _axis_probe_value(axis: SweepAxis) -> Any:
+    """A representative value of one axis (for series_label probing)."""
+    if axis.values is not None:
+        return axis.values[0]
+    assert axis.span is not None  # __post_init__: exactly one of values/span
+    return axis.span[0]
 
 
 def _validate_axis_field(field_name: str, scenario: ScenarioSpec) -> None:
@@ -1049,9 +1068,7 @@ class ExperimentSpec:
         # axis probes with a representative value so type-dependent format
         # specs ({mcs_name:s}, {sir_db:g}) validate correctly.
         context = {
-            axis_placeholder(axis.field): (
-                axis.values[0] if axis.values is not None else axis.span[0]
-            )
+            axis_placeholder(axis.field): _axis_probe_value(axis)
             for axis in self.sweep.axes
         }
         context["receiver"] = ""
@@ -1083,6 +1100,7 @@ class ExperimentSpec:
         if self.kind == "analysis":
             return replace(self, n_packets=n_packets, payload_length=payload, seed=seed)
         scenario = self.scenario
+        assert scenario is not None and self.sweep is not None  # psr-validated
         if scenario.payload_length is None:
             scenario = replace(scenario, payload_length=payload)
         sweep = SweepSpec(

@@ -37,7 +37,6 @@ managed unit:
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -65,8 +64,8 @@ from repro.experiments.store import (
     CACHE_ENV_VAR,
     CampaignManifest,
     ResultStore,
-    _atomic_write,
     stable_key,
+    write_json_artifact,
 )
 from repro.experiments.sweeps import SweepPoint, execute_points, run_sweep_point_counts
 
@@ -408,7 +407,9 @@ def run_campaign(
         "notes": list(spec.notes),
     }
     summary_path = workspace / "summary.json"
-    _atomic_write(summary_path, json.dumps(summary, indent=2) + "\n")
+    # Stamped like every other artifact: a torn/hand-edited summary is
+    # detectable (and quarantinable) by any reader that verifies checksums.
+    write_json_artifact(summary_path, summary)
     return CampaignRun(
         summary=summary,
         results=results,

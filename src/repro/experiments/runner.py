@@ -41,6 +41,11 @@ Usage::
                                           # adaptively-sampled campaign with
                                           # checkpoint/resume and a summary
                                           # report (see repro.campaigns)
+    cprecycle-experiments lint src/ tests/
+                                          # determinism/process-safety static
+                                          # analysis (rules RPR001-RPR006,
+                                          # see repro.lint); also available
+                                          # as repro-lint / python -m repro.lint
 """
 
 from __future__ import annotations
@@ -156,6 +161,11 @@ def _print_registries() -> None:
     print("topologies (DeploymentSpec 'topology'):")
     for name in available_topologies():
         print(f"  {name}")
+    from repro.lint.rules import rules_table
+
+    print("lint rules (run as: cprecycle-experiments lint src/):")
+    for code, rule_name, summary in rules_table():
+        print(f"  {code}  {rule_name:<20} {summary}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -171,6 +181,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.campaigns.cli import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # Determinism/process-safety static analysis (see repro.lint); the
+        # same engine backs the repro-lint script and python -m repro.lint.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:], prog="cprecycle-experiments lint")
 
     parser = argparse.ArgumentParser(description="Regenerate the CPRecycle evaluation figures")
     parser.add_argument(

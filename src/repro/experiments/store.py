@@ -47,7 +47,14 @@ import numpy as np
 
 from repro.experiments.results import FigureResult
 
-__all__ = ["stable_key", "config_hash", "ResultStore", "PointCache", "CampaignManifest"]
+__all__ = [
+    "stable_key",
+    "config_hash",
+    "write_json_artifact",
+    "ResultStore",
+    "PointCache",
+    "CampaignManifest",
+]
 
 #: Version of the on-disk artifact/cache envelope (the FigureResult payload
 #: carries its own ``schema_version``).
@@ -112,6 +119,22 @@ def _atomic_write(path: Path, text: str) -> None:
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def write_json_artifact(path: str | Path, record: dict[str, Any], indent: int | None = 2) -> Path:
+    """Write one JSON artifact with a checksum stamp, atomically.
+
+    The public funnel for every module that persists a standalone JSON
+    record (campaign summaries, reports): the record gains the same
+    ``checksum`` field the store's own artifacts carry, so
+    :func:`_read_record` — and anything else that verifies artifacts — can
+    detect torn or tampered files and quarantine them on the next read.
+    Parent directories are created as needed.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    _atomic_write(target, json.dumps(_stamped(record), indent=indent) + "\n")
+    return target
 
 
 # --------------------------------------------------------------------------- #
@@ -186,7 +209,7 @@ def _read_record(path: Path, what: str) -> dict[str, Any] | None:
 class ResultStore:
     """Directory of reloadable ``<experiment>.json`` result artifacts."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
 
     def path_for(self, name: str) -> Path:
@@ -236,6 +259,9 @@ class ResultStore:
             "config_hash": config_hash(*key_parts),
             "spec_hash": spec_hash,
             "config": config,
+            # repro-lint: disable=RPR002 -- provenance timestamp recording when
+            # the artifact was produced; excluded from config_hash, so results
+            # stay pure functions of the configuration.
             "created_unix": round(time.time(), 3),
             "result": result.to_dict(),
         }
@@ -296,12 +322,19 @@ class PointCache:
     resumable.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._entries: dict[str, Any] = {}
         record = _read_record(self.path, "point cache")
         if record is not None and record.get("schema_version") == STORE_SCHEMA_VERSION:
-            self._entries = record.get("points", {})
+            points = record.get("points")
+            if isinstance(points, dict):
+                self._entries = points
+            elif points is not None:
+                _quarantine(
+                    self.path, "point cache",
+                    f"'points' should be an object, got {type(points).__name__}",
+                )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -336,9 +369,10 @@ class PointCache:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         record = _read_record(self.path, "point cache")
         if record is not None and record.get("schema_version") == STORE_SCHEMA_VERSION:
-            merged = record.get("points", {})
-            merged.update(self._entries)
-            self._entries = merged
+            merged = record.get("points")
+            if isinstance(merged, dict):
+                merged.update(self._entries)
+                self._entries = merged
         record = {"schema_version": STORE_SCHEMA_VERSION, "points": self._entries}
         _atomic_write(self.path, json.dumps(_stamped(record)) + "\n")
 
@@ -361,7 +395,7 @@ class CampaignManifest:
     resumed run finishes with counts bit-identical to an uninterrupted one.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.campaign: str | None = None
         self.campaign_hash: str | None = None
@@ -382,7 +416,8 @@ class CampaignManifest:
             self.campaign = record.get("campaign")
             self.campaign_hash = record.get("campaign_hash")
             self.rounds_completed = int(record.get("rounds_completed", 0))
-            self.points = record.get("points", {})
+            points = record.get("points")
+            self.points = points if isinstance(points, dict) else {}
 
     def begin(self, campaign: str, campaign_hash: str) -> None:
         """Bind the manifest to one campaign, validating a resumed file.

@@ -31,10 +31,10 @@ from __future__ import annotations
 import os
 import sys
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -69,7 +69,7 @@ def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
 # --------------------------------------------------------------------------- #
 # Generic point execution (pool + persistent point cache)                     #
 # --------------------------------------------------------------------------- #
-def _point_cache_for(fn: Callable) -> PointCache | None:
+def _point_cache_for(fn: Callable[..., Any]) -> PointCache | None:
     """Point cache for ``fn``'s sweep, or ``None`` when caching is off."""
     cache_dir = os.environ.get(CACHE_ENV_VAR, "").strip()
     if not cache_dir:
@@ -81,7 +81,7 @@ def _point_cache_for(fn: Callable) -> PointCache | None:
 _NO_ENGINE = object()
 
 
-def _point_key(task) -> str:
+def _point_key(task: Any) -> str:
     """Content hash identifying one sweep point across runs.
 
     A task whose ``engine`` field is ``None`` inherits ``REPRO_ENGINE`` at
@@ -104,7 +104,7 @@ def progress_enabled() -> bool:
 class _ProgressReporter:
     """One stderr line per completed chunk: points done/total and elapsed time."""
 
-    def __init__(self, fn: Callable, total: int, cached: int):
+    def __init__(self, fn: Callable[..., Any], total: int, cached: int) -> None:
         self.label = getattr(fn, "__qualname__", getattr(fn, "__name__", "task"))
         self.total = total
         self.done = cached
@@ -124,8 +124,11 @@ class _ProgressReporter:
 
 
 def execute_points(
-    fn, tasks, n_workers: int | None = None, policy: FailurePolicy | None = None
-) -> list:
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    n_workers: int | None = None,
+    policy: FailurePolicy | None = None,
+) -> list[Any]:
     """Run every sweep task through the shared execution layer.
 
     Outcomes preserve task order whatever the execution order was.  With a
@@ -153,7 +156,7 @@ def execute_points(
         else None
     )
     if cache is None:
-        def report(start: int, chunk_results: list) -> None:
+        def report(start: int, chunk_results: list[Any]) -> None:
             if reporter is not None:
                 reporter.emit(len(chunk_results))
 
@@ -170,14 +173,14 @@ def execute_points(
         )
 
     keys = [_point_key(task) for task in tasks]
-    outcomes: dict[int, object] = {
+    outcomes: dict[int, Any] = {
         index: cache.get(key) for index, key in enumerate(keys) if key in cache
     }
     pending = [index for index in range(len(tasks)) if index not in outcomes]
     if progress_enabled() and tasks:
         reporter = _ProgressReporter(fn, total=len(tasks), cached=len(outcomes))
 
-    def flush(start: int, chunk_results: list) -> None:
+    def flush(start: int, chunk_results: list[Any]) -> None:
         chunk = pending[start : start + len(chunk_results)]
         cache.update({keys[i]: outcome for i, outcome in zip(chunk, chunk_results)})
         outcomes.update(dict(zip(chunk, chunk_results)))

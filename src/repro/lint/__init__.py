@@ -1,0 +1,17 @@
+"""Determinism and process-safety static analysis (``repro lint``).
+
+An AST-based lint pass encoding the invariants the reproduction's
+bit-identity guarantees rest on — child-stream RNG discipline, no global
+RNG or wall-clock reads in library code, picklable pool tasks, canonical
+cache keys, checksum-stamped artifact writes, and complete spec round-trips.
+Each rule carries a code (``RPR001``–``RPR006``) and can be suppressed per
+line with ``# repro-lint: disable=RPRxxx -- <justification>``.
+
+Run it as ``repro-lint src/``, ``python -m repro.lint src/`` or
+``cprecycle-experiments lint src/``.
+"""
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import lint_file, lint_paths, lint_source
+
+__all__ = ["Diagnostic", "lint_file", "lint_paths", "lint_source"]

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — same interface as the ``repro-lint`` script."""
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(prog="python -m repro.lint"))

@@ -1,0 +1,32 @@
+"""Lint diagnostics: the one value every rule produces.
+
+A :class:`Diagnostic` is a plain frozen dataclass ordered by
+``(path, line, col, code, message)``; the engine sorts every run's findings
+with that order so output is byte-identical across runs, worker counts and
+filesystem traversal order — CI logs stay diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Diagnostic", "META_CODE"]
+
+#: Code used for lint-infrastructure findings (unreadable/unparsable files,
+#: suppressions without a justification) rather than rule violations.
+META_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where it is, which rule fired and why."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line rendering (``path:line:col: CODE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

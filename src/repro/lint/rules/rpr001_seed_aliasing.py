@@ -1,0 +1,101 @@
+"""RPR001 — arithmetic-derived RNG seeds (stream aliasing).
+
+Deriving child seeds arithmetically (``seed + i``, ``seed * k + j``) makes
+distinct streams collide: ``(seed=1, i=2)`` and ``(seed=2, i=1)`` draw the
+same numbers, which silently correlates Monte-Carlo realizations.  PR 4
+fixed exactly this class in the Fig. 13 realization RNGs; the blessed
+pattern is :func:`repro.utils.rng.child_rng`, which feeds the whole tuple
+``[seed, *stream]`` through ``np.random.SeedSequence`` instead of collapsing
+it into one integer.
+
+The rule flags any arithmetic expression in *seed position* — the first
+positional argument of ``default_rng``/``SeedSequence``/``child_rng``/
+``ensure_rng``/``spawn_rngs``, or any ``seed=`` keyword — in library code
+outside the blessed helper module itself.  Arithmetic over constants only
+(``default_rng(2**32 - 1)``) is a literal seed, not a derivation, and is
+allowed; so is arithmetic in *stream position* (``child_rng(seed, base + i)``),
+because SeedSequence keeps stream components collision-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["SeedAliasingRule"]
+
+#: Modules allowed to construct seeds however they need: the child-stream
+#: helpers themselves.
+BLESSED_MODULES = frozenset({"repro.utils.rng"})
+
+#: Callables whose first positional argument is an RNG seed.
+SEED_CONSUMERS = frozenset(
+    {"default_rng", "SeedSequence", "child_rng", "ensure_rng", "spawn_rngs"}
+)
+
+_ARITHMETIC_OPS = (
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.BitOr, ast.BitXor, ast.BitAnd,
+)
+
+
+def _is_constant_expression(node: ast.AST) -> bool:
+    """True when every leaf of ``node`` is a literal constant."""
+    return all(
+        isinstance(leaf, ast.Constant)
+        for leaf in ast.walk(node)
+        if not isinstance(leaf, (ast.BinOp, ast.UnaryOp, ast.operator, ast.unaryop))
+    )
+
+
+def _arithmetic_nodes(seed_expr: ast.AST) -> Iterator[ast.BinOp]:
+    """Outermost non-constant arithmetic nodes inside a seed expression.
+
+    Only the outermost one is reported (``seed * 131 + i`` is one finding,
+    not two); arithmetic over literals (``2**32 - 1``) is a constant seed,
+    not a derivation from another seed, and stays silent.
+    """
+    if isinstance(seed_expr, ast.BinOp) and isinstance(seed_expr.op, _ARITHMETIC_OPS):
+        if not _is_constant_expression(seed_expr):
+            yield seed_expr
+            return
+    for child in ast.iter_child_nodes(seed_expr):
+        yield from _arithmetic_nodes(child)
+
+
+class SeedAliasingRule(Rule):
+    code = "RPR001"
+    name = "seed-aliasing"
+    summary = "arithmetic-derived RNG seed; use child_rng(seed, *stream)"
+    invariant = (
+        "Child RNG streams derive via SeedSequence([seed, *stream]); "
+        "seed arithmetic like seed + i collides streams (PR 4 bug class)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_library or ctx.module in BLESSED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            seed_exprs: list[ast.AST] = []
+            callee = dotted_name(node.func)
+            if callee.rsplit(".", 1)[-1] in SEED_CONSUMERS and node.args:
+                seed_exprs.append(node.args[0])
+            seed_exprs.extend(
+                keyword.value for keyword in node.keywords if keyword.arg == "seed"
+            )
+            for seed_expr in seed_exprs:
+                for binop in _arithmetic_nodes(seed_expr):
+                    yield ctx.diagnostic(
+                        binop,
+                        self.code,
+                        "seed derived arithmetically "
+                        f"({ast.unparse(binop)}); derive child streams with "
+                        "child_rng(seed, *stream) / SeedSequence([seed, ...]) "
+                        "instead — integer seed arithmetic aliases RNG streams",
+                    )

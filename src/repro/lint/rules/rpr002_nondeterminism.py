@@ -1,0 +1,123 @@
+"""RPR002 — global-RNG state and wall-clock reads in library code.
+
+Bit-identical results require every random draw to flow from a seed carried
+in the task and every recorded value to be a pure function of the inputs.
+Two things break that silently:
+
+* **module-level RNG state** — ``np.random.<fn>`` (the legacy global
+  generator) and the stdlib ``random`` module share hidden state across
+  callers and processes, so results depend on call order and worker count;
+* **wall-clock / entropy reads** — ``time.time``, ``datetime.now``,
+  ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*`` make output differ
+  run-to-run by construction.
+
+``time.monotonic``/``time.perf_counter`` (progress and profiling) and
+``time.sleep`` are allowed: they never feed recorded results.  The rule
+only applies to library code (``src/repro/``); tests and benchmarks may
+time things freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["NondeterminismRule"]
+
+#: Exact dotted names (after alias normalisation) that read wall clock or
+#: OS entropy.
+_CLOCK_AND_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``np.random`` attributes that are *not* the legacy global generator.
+_NP_RANDOM_ALLOWED = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+)
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local alias → imported dotted origin (``np`` → ``numpy``)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for item in node.names:
+                aliases[item.asname or item.name] = f"{node.module}.{item.name}"
+    return aliases
+
+
+class NondeterminismRule(Rule):
+    code = "RPR002"
+    name = "nondeterminism"
+    summary = "global RNG state or wall-clock/entropy read in library code"
+    invariant = (
+        "Library results are pure functions of seeds and specs; global "
+        "np.random/random state and time.time/datetime.now/os.urandom "
+        "reads make outcomes depend on call order or the clock."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_library:
+            return
+        aliases = _import_aliases(ctx.tree)
+
+        def normalise(name: str) -> str:
+            head, _, tail = name.partition(".")
+            origin = aliases.get(head)
+            if origin is None:
+                return name
+            return f"{origin}.{tail}" if tail else origin
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = normalise(dotted_name(node.func))
+            if not callee:
+                continue
+            if callee.startswith("numpy.random."):
+                attr = callee.split(".", 2)[2]
+                if "." not in attr and attr not in _NP_RANDOM_ALLOWED:
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"np.random.{attr} uses the module-level global "
+                        "generator; draw from an explicit "
+                        "np.random.Generator (child_rng / default_rng)",
+                    )
+                continue
+            if callee.startswith("random.") and aliases.get("random", "random") == "random":
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{callee} uses the stdlib global RNG; draw from an "
+                    "explicit seeded np.random.Generator instead",
+                )
+                continue
+            if callee in _CLOCK_AND_ENTROPY or callee.startswith("secrets."):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{callee} is nondeterministic (wall clock / OS entropy); "
+                    "library results must be pure functions of seeds and specs",
+                )

@@ -1,0 +1,109 @@
+"""RPR003 — unpicklable callables flowing into pool dispatch.
+
+``execute_points`` / ``parallel_map`` / ``parallel_map_chunked`` send the
+task function to worker processes by pickling it, and pickle resolves
+functions by *qualified name*: lambdas and functions defined inside another
+function cannot be resolved in the worker.  PR 6's supervised executor
+probes ``tasks[0]`` and falls back to serial on pickling failure, but that
+fallback silently forfeits parallelism — and before the probe existed, the
+failure surfaced only after the pool spun up.  The invariant is structural:
+dispatch targets must be module-level functions.
+
+The rule flags a dispatch call whose function argument is a lambda
+expression, a name bound to a lambda, or a name defined by ``def`` inside
+an enclosing function.  It applies everywhere (library code, tests and
+benchmarks all dispatch into pools).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["ProcessSafetyRule"]
+
+#: Call names (last dotted component) that dispatch their first argument
+#: into a process pool.
+DISPATCHERS = frozenset({"execute_points", "parallel_map", "parallel_map_chunked"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _local_callables(fn: ast.AST) -> set[str]:
+    """Names bound to nested ``def``s or lambdas inside function ``fn``."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if node is fn:
+            continue
+        if isinstance(node, _FUNCTION_NODES):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+class ProcessSafetyRule(Rule):
+    code = "RPR003"
+    name = "process-safety"
+    summary = "lambda/closure dispatched into a process pool"
+    invariant = (
+        "Pool task functions pickle by qualified name; lambdas and nested "
+        "functions fail past the tasks[0] probe (PR 6 bug class)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        # Walk with an explicit stack of enclosing function scopes so a
+        # dispatch call knows which names are locally-defined callables.
+        stack: list[set[str]] = []
+
+        def visit(node: ast.AST) -> Iterator[Diagnostic]:
+            entered = False
+            if isinstance(node, _FUNCTION_NODES):
+                stack.append(_local_callables(node))
+                entered = True
+            try:
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(ctx, node, stack)
+                for child in ast.iter_child_nodes(node):
+                    yield from visit(child)
+            finally:
+                if entered:
+                    stack.pop()
+
+        yield from visit(ctx.tree)
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, stack: list[set[str]]
+    ) -> Iterator[Diagnostic]:
+        callee = dotted_name(node.func)
+        if callee.rsplit(".", 1)[-1] not in DISPATCHERS:
+            return
+        fn_expr: ast.AST | None = node.args[0] if node.args else None
+        for keyword in node.keywords:
+            if keyword.arg == "fn":
+                fn_expr = keyword.value
+        if fn_expr is None:
+            return
+        if isinstance(fn_expr, ast.Lambda):
+            yield ctx.diagnostic(
+                fn_expr,
+                self.code,
+                "lambda dispatched into a process pool; pool task functions "
+                "must be module-level (picklable by qualified name)",
+            )
+        elif isinstance(fn_expr, ast.Name) and any(
+            fn_expr.id in scope for scope in stack
+        ):
+            yield ctx.diagnostic(
+                fn_expr,
+                self.code,
+                f"locally-defined function '{fn_expr.id}' dispatched into a "
+                "process pool; move it to module level so it pickles by "
+                "qualified name",
+            )

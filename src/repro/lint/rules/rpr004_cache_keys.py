@@ -1,0 +1,119 @@
+"""RPR004 — numpy scalars reaching cache-key construction.
+
+``stable_key`` / ``config_hash`` / ``spec_hash`` identify sweep points and
+experiment configurations by hashing a canonical JSON rendering.  PR 4's
+cache-aliasing bug came from numpy scalars leaking into key tuples:
+``np.float64(6.0)`` and ``6.0`` render differently (or, worse, identically
+for *different* dtypes), so cache hits and misses stopped tracking value
+equality.  The store now canonicalises defensively, but key call sites must
+still hand over plain Python values — the canonical form of an unexpected
+dtype is best-effort.
+
+The rule flags, inside the arguments of a key-construction call in library
+code: explicit numpy scalar constructors (``np.float64(...)``), and
+subscripts of names previously assigned from a numpy call in the same
+file (``values[i]`` where ``values = np.linspace(...)``) unless wrapped in
+``float()``/``int()``/``bool()``/``str()``/``round()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["CacheKeyHygieneRule"]
+
+#: Callables whose arguments become cache keys / content hashes.
+KEY_BUILDERS = frozenset({"stable_key", "config_hash", "spec_hash"})
+
+#: numpy scalar constructors that must not appear in key arguments.
+_NP_SCALARS = frozenset(
+    {
+        "float16", "float32", "float64", "longdouble",
+        "int8", "int16", "int32", "int64",
+        "uint8", "uint16", "uint32", "uint64",
+        "bool_", "complex64", "complex128",
+    }
+)
+
+#: Builtin conversions that launder a numpy value into a plain Python one.
+_SANITISERS = frozenset({"float", "int", "bool", "str", "round", "repr", "len", "tuple", "sorted", "list"})
+
+_NP_PREFIXES = ("np.", "numpy.")
+
+
+def _numpy_tainted_names(tree: ast.Module) -> set[str]:
+    """Names assigned from a ``np.*`` / ``numpy.*`` call anywhere in the file."""
+    tainted: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        callee = dotted_name(value.func)
+        if callee.startswith(_NP_PREFIXES):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+    return tainted
+
+
+class CacheKeyHygieneRule(Rule):
+    code = "RPR004"
+    name = "cache-key-hygiene"
+    summary = "numpy scalar reaches stable_key/config_hash construction"
+    invariant = (
+        "Cache keys hash canonical plain-Python values; numpy scalars in "
+        "key tuples alias or split cache entries (PR 4 bug class)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_library:
+            return
+        tainted = _numpy_tainted_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func).rsplit(".", 1)[-1] not in KEY_BUILDERS:
+                continue
+            arguments: list[ast.AST] = list(node.args)
+            arguments.extend(keyword.value for keyword in node.keywords)
+            for argument in arguments:
+                yield from self._scan(ctx, argument, tainted)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, tainted: set[str]
+    ) -> Iterator[Diagnostic]:
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            leaf = callee.rsplit(".", 1)[-1]
+            if leaf in _SANITISERS and "." not in callee:
+                return  # float(...)/int(...) launder whatever is inside
+            if callee.startswith(_NP_PREFIXES) and leaf in _NP_SCALARS:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{callee}(...) produces a numpy scalar inside a cache "
+                    "key; pass a plain Python value (wrap in float()/int())",
+                )
+                return
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in tainted
+        ):
+            yield ctx.diagnostic(
+                node,
+                self.code,
+                f"'{node.value.id}[...]' indexes a numpy result inside a "
+                "cache key and yields a numpy scalar; wrap it in "
+                "float()/int() before key construction",
+            )
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(ctx, child, tainted)

@@ -1,0 +1,96 @@
+"""RPR005 — raw artifact writes bypassing the checksum-stamping store.
+
+Every artifact the harness writes (results, manifests, caches, summaries)
+goes through :mod:`repro.experiments.store` helpers, which stamp a content
+checksum and write atomically (temp file + ``os.replace``).  That is what
+lets PR 6's fault tolerance *detect* torn/corrupt files and quarantine them
+instead of silently resuming from garbage.  A direct ``open(path, "w")`` /
+``json.dump`` / ``Path.write_text`` in library code produces an artifact
+with no checksum and no atomicity — unverifiable on resume.
+
+The rule flags, in library code outside the store module itself: calls to
+builtin ``open`` with a writing mode, ``json.dump`` (the file-writing
+variant; ``json.dumps`` is fine), ``.write_text``/``.write_bytes`` calls,
+and use of the store-private ``_atomic_write`` (atomic but unstamped —
+use :func:`repro.experiments.store.write_json_artifact`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["RawArtifactWriteRule"]
+
+#: The module that owns artifact I/O and may use raw primitives.
+BLESSED_MODULES = frozenset({"repro.experiments.store"})
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _open_mode(node: ast.Call) -> str | None:
+    """The constant mode string of an ``open`` call, if determinable."""
+    mode_expr: ast.AST | None = node.args[1] if len(node.args) > 1 else None
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode_expr = keyword.value
+    if mode_expr is None:
+        return "r"
+    if isinstance(mode_expr, ast.Constant) and isinstance(mode_expr.value, str):
+        return mode_expr.value
+    return None  # dynamic mode: cannot judge, stay silent
+
+
+class RawArtifactWriteRule(Rule):
+    code = "RPR005"
+    name = "raw-artifact-write"
+    summary = "direct file write bypasses checksum-stamping store helpers"
+    invariant = (
+        "Artifacts carry a content checksum and are written atomically so "
+        "resume can quarantine corruption (PR 6); raw open(.., 'w')/"
+        "json.dump writes are unverifiable."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_library or ctx.module in BLESSED_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_name(node.func)
+            if callee == "open":
+                mode = _open_mode(node)
+                if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                    yield ctx.diagnostic(
+                        node,
+                        self.code,
+                        f"open(..., {mode!r}) writes an artifact without a "
+                        "checksum stamp; use repro.experiments.store helpers "
+                        "(write_json_artifact / ResultStore)",
+                    )
+            elif callee.rsplit(".", 1)[-1] == "dump" and callee.endswith("json.dump"):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "json.dump writes an artifact without a checksum stamp; "
+                    "use repro.experiments.store.write_json_artifact",
+                )
+            elif callee.rsplit(".", 1)[-1] in ("write_text", "write_bytes"):
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{callee.rsplit('.', 1)[-1]} writes an artifact without "
+                    "a checksum stamp or atomic replace; use "
+                    "repro.experiments.store helpers",
+                )
+            elif callee.rsplit(".", 1)[-1] == "_atomic_write":
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    "_atomic_write is store-private and skips checksum "
+                    "stamping; use repro.experiments.store.write_json_artifact",
+                )

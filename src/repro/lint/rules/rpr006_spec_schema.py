@@ -1,0 +1,125 @@
+"""RPR006 — spec dataclass fields missing from their JSON round-trip.
+
+The declarative layer's ``*Spec`` dataclasses are the unit of persistence
+and identity: campaign manifests, the point cache and ``stable_key`` all
+hash a spec's ``to_dict`` rendering.  A field added to a spec but forgotten
+in ``to_dict`` silently drops out of the content hash — two configurations
+differing only in that field collide in the cache and resume paths, the
+same aliasing failure mode PR 4 fixed for numpy scalars.
+
+The rule inspects every dataclass whose name ends in ``Spec`` and that
+defines a ``to_dict``/``to_json`` method: each annotated field must appear
+in the serialiser body, either explicitly (a ``"field"`` string key or a
+``self.field`` access) or via a generic ``dataclasses.fields(...)`` /
+``asdict(...)`` sweep.  A spec with ``to_dict`` but no matching
+``from_dict``/``from_json`` constructor is also flagged: one-way
+serialisation cannot round-trip a manifest.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.rules import Rule
+
+__all__ = ["SpecSchemaRule"]
+
+_SERIALISERS = ("to_dict", "to_json")
+_CONSTRUCTORS = ("from_dict", "from_json")
+_GENERIC_SWEEPS = frozenset({"fields", "asdict", "astuple"})
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if dotted_name(target).rsplit(".", 1)[-1] == "dataclass":
+            return True
+    return False
+
+
+def _annotated_fields(node: ast.ClassDef) -> list[tuple[str, ast.AnnAssign]]:
+    found: list[tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        if "ClassVar" in ast.unparse(statement.annotation):
+            continue  # class-level constants are not instance fields
+        found.append((statement.target.id, statement))
+    return found
+
+
+def _method(node: ast.ClassDef, names: tuple[str, ...]) -> ast.FunctionDef | None:
+    for statement in node.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name in names:
+            return statement
+    return None
+
+
+def _covered_fields(serialiser: ast.FunctionDef) -> set[str] | None:
+    """Field names mentioned in the serialiser, or ``None`` for "all of them".
+
+    A call to ``dataclasses.fields``/``asdict`` means the serialiser sweeps
+    every field generically, so coverage is total by construction.
+    """
+    covered: set[str] = set()
+    for node in ast.walk(serialiser):
+        if isinstance(node, ast.Call):
+            if dotted_name(node.func).rsplit(".", 1)[-1] in _GENERIC_SWEEPS:
+                return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            covered.add(node.value)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            covered.add(node.attr)
+    return covered
+
+
+class SpecSchemaRule(Rule):
+    code = "RPR006"
+    name = "spec-schema"
+    summary = "*Spec dataclass field missing from its to_dict round-trip"
+    invariant = (
+        "Spec content hashes (stable_key) read to_dict; a field absent from "
+        "it silently drops out of cache keys and manifests, aliasing "
+        "distinct configurations."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not ctx.is_library:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Spec") or not _is_dataclass(node):
+                continue
+            serialiser = _method(node, _SERIALISERS)
+            if serialiser is None:
+                continue  # in-memory-only spec: nothing persists it
+            if _method(node, _CONSTRUCTORS) is None:
+                yield ctx.diagnostic(
+                    node,
+                    self.code,
+                    f"{node.name} defines {serialiser.name}() but no "
+                    "from_dict()/from_json(); one-way serialisation cannot "
+                    "round-trip manifests",
+                )
+            covered = _covered_fields(serialiser)
+            if covered is None:
+                continue
+            for field_name, annotation in _annotated_fields(node):
+                if field_name not in covered:
+                    yield ctx.diagnostic(
+                        annotation,
+                        self.code,
+                        f"field '{field_name}' of {node.name} does not appear "
+                        f"in {serialiser.name}(); it would drop out of "
+                        "content hashes and manifest round-trips",
+                    )

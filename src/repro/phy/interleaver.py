@@ -42,8 +42,11 @@ def interleaver_permutation(coded_bits_per_symbol: int, bits_per_subcarrier: int
         # non-standard wideband allocations never silently corrupt bits.
         if len(set(int(v) for v in j)) == ncbps:
             return tuple(int(v) for v in j)
-    # Fallback for non-standard allocations: fixed seeded permutation.
-    rng = np.random.default_rng(ncbps * 131 + nbpsc)
+    # Fallback for non-standard allocations: fixed seeded permutation.  The
+    # seed components stay separate (SeedSequence entropy, not arithmetic)
+    # so distinct (ncbps, nbpsc) allocations can never share a permutation
+    # stream; 131 tags the interleaver's seed domain.
+    rng = np.random.default_rng(np.random.SeedSequence([131, ncbps, nbpsc]))
     return tuple(int(v) for v in rng.permutation(ncbps))
 
 

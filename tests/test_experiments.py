@@ -1,6 +1,5 @@
 """Tests for the experiment harness: link engine, results, figure modules."""
 
-import numpy as np
 import pytest
 
 from repro.channel.scenario import Scenario

@@ -376,6 +376,8 @@ class TestParallelBackend:
     def test_unpicklable_falls_back_with_warning(self):
         offset = 3
         with pytest.warns(RuntimeWarning):
+            # repro-lint: disable=RPR003 -- deliberately unpicklable: this
+            # test exercises the serial-fallback path for such callables.
             result = parallel_map(lambda v: v + offset, [1, 2], n_workers=2)
         assert result == [4, 5]
 

@@ -225,9 +225,17 @@ class TestSupervisedExecutor:
     def test_repeated_pool_death_degrades_to_serial(self, tmp_path):
         # Two kills, one respawn in the budget: the second death degrades,
         # and the remaining tasks (their claims spent) finish in-process.
+        # The chunk barrier keeps the kills in separate pool generations —
+        # with one unchunked dispatch both can land before the first
+        # BrokenExecutor surfaces, consuming both in a single respawn.
         plan = _plan(tmp_path, {"1": "kill", "4": "kill"})
-        results = parallel_map(
-            _double, list(range(6)), n_workers=2, fault_plan=plan, policy=FAST
+        results = parallel_map_chunked(
+            _double,
+            list(range(6)),
+            n_workers=2,
+            chunk_size=3,
+            fault_plan=plan,
+            policy=FAST,
         )
         assert results == [{"doubled": v * 2} for v in range(6)]
         assert supervisor_stats().pool_respawns == 1

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.channel.interference import (
-    InterfererSpec,
     adjacent_channel_interferer,
     co_channel_interferer,
     realize_interference,

@@ -11,7 +11,6 @@ These are the behavioural claims of the paper, checked at small scale:
 """
 
 import numpy as np
-import pytest
 
 from repro.channel.interference import adjacent_channel_interferer, co_channel_interferer
 from repro.channel.scenario import Scenario

@@ -123,6 +123,8 @@ class TestPicklabilityProbe:
 
     def test_probe_failure_still_falls_back(self):
         with pytest.warns(RuntimeWarning):
+            # repro-lint: disable=RPR003 -- deliberately unpicklable: this
+            # test exercises the probe-failure serial fallback.
             result = parallel_map(lambda task: task, [object(), object()], n_workers=2)
         assert len(result) == 2
 
