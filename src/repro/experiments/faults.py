@@ -69,6 +69,9 @@ class InjectedFault(RuntimeError):
     """The exception raised by ``raise`` (and serial ``kill``) faults."""
 
 
+# repro-lint: disable=RPR008 -- deliberately process-local cache of one mkdtemp
+# result; cross-process fault-injection state lives in the marker *files* under
+# this directory (created O_CREAT|O_EXCL), not in the variable itself.
 _PROCESS_STATE_DIR: str | None = None
 
 
@@ -97,7 +100,7 @@ class FaultPlan:
     hang_seconds: float = 0.25
     state_dir: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for index, kind in self.tasks:
             if not isinstance(index, int) or isinstance(index, bool) or index < 0:
                 raise ValueError(f"fault task ordinal must be a non-negative int, got {index!r}")

@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Any, TypeVar
 
 from repro.experiments.faults import FaultPlan
+from repro.utils.sanitize import run_sanitized
 
 __all__ = [
     "FailurePolicy",
@@ -127,7 +128,7 @@ class FailurePolicy:
     max_pool_respawns: int = 1
     degrade_serial: bool = True
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError(f"max retries must be >= 0, got {self.max_retries}")
         if self.task_timeout is not None and self.task_timeout <= 0:
@@ -228,22 +229,37 @@ class SupervisorStats:
         return dataclasses.asdict(self)
 
 
-#: Process-wide recovery counters (see :func:`supervisor_stats`).
+#: Parent-process recovery counters (see :func:`supervisor_stats`).  Every
+#: write happens in the supervisor, which only ever runs in the parent:
+#: workers hold a fork/spawn copy that is never mutated and never read back.
+# repro-lint: disable=RPR008 -- deliberately parent-only: all writes happen in
+# the _Supervisor (parent process); worker copies are dead state by design and
+# supervisor_stats() documents the parent-only semantics.
 _STATS = SupervisorStats()
 
 
 def supervisor_stats() -> SupervisorStats:
-    """The process-wide recovery counters, accumulated across all sweeps.
+    """The recovery counters of the *parent* process, across all sweeps.
 
     Snapshot before a run and :meth:`~SupervisorStats.diff` after to obtain
     per-run numbers (the campaign scheduler records exactly that in its
     ``summary.json``).
+
+    The counters are parent-only by design: the supervisor increments them
+    while driving the pool, so retries, timeouts and respawns are all
+    observed — and counted — in the parent.  Worker processes see an inert
+    copy that is never merged back; calling this inside a pool worker
+    always returns zeros.
     """
     return _STATS
 
 
 def reset_supervisor_stats() -> None:
-    """Zero the process-wide recovery counters (test isolation helper)."""
+    """Zero the parent-process recovery counters (test isolation helper).
+
+    Like :func:`supervisor_stats` this acts on the parent's counters only;
+    it does not (and need not) reach into live pool workers.
+    """
     global _STATS
     _STATS = SupervisorStats()
 
@@ -251,7 +267,9 @@ def reset_supervisor_stats() -> None:
 class SweepTaskError(RuntimeError):
     """One sweep task kept failing after every retry the policy allowed."""
 
-    def __init__(self, ordinal: int, attempts: int, reason: str, task_key: str | None = None):
+    def __init__(
+        self, ordinal: int, attempts: int, reason: str, task_key: str | None = None
+    ) -> None:
         self.ordinal = ordinal
         self.attempts = attempts
         self.task_key = task_key
@@ -305,16 +323,24 @@ def _is_pickling_error(error: BaseException) -> bool:
     )
 
 
-def _run_task(fn, task, plan, ordinal: int, in_pool: bool):
+def _run_task(
+    fn: Callable[[Any], Any],
+    task: Any,
+    plan: FaultPlan | None,
+    ordinal: int,
+    in_pool: bool,
+) -> Any:
     """Execute one task (in a pool worker or the parent), injecting faults.
 
     Module-level so it pickles into workers; the fault plan travels with
     every dispatch, so injection state never depends on worker start-up
-    environment.
+    environment.  Runs under the determinism sanitizer when
+    ``REPRO_SANITIZE`` is set — both the pooled and the serial path route
+    through here, so spools cover every worker count identically.
     """
     if plan is not None:
         plan.apply(ordinal, in_pool=in_pool)
-    return fn(task)
+    return run_sanitized(fn, task)
 
 
 _UNSET = object()
@@ -329,7 +355,15 @@ class _Supervisor:
     and fault-injection behaviour without any pool.
     """
 
-    def __init__(self, fn, n_workers: int, policy: FailurePolicy, plan, total: int, pooled: bool):
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        n_workers: int,
+        policy: FailurePolicy,
+        plan: FaultPlan | None,
+        total: int,
+        pooled: bool,
+    ) -> None:
         self.fn = fn
         self.policy = policy
         self.plan = plan
@@ -393,15 +427,15 @@ class _Supervisor:
         )
 
     # -- execution ---------------------------------------------------------- #
-    def run_chunk(self, chunk: Sequence, base: int) -> list:
+    def run_chunk(self, chunk: Sequence[Any], base: int) -> list[Any]:
         """Execute one chunk, returning outcomes in task order."""
         if not chunk:
             return []
         if not self.pooled or self.degraded:
             return [self._call_serial(task, base + i) for i, task in enumerate(chunk)]
-        results: list = [_UNSET] * len(chunk)
+        results: list[Any] = [_UNSET] * len(chunk)
         attempts = [0] * len(chunk)
-        futures: dict[int, Future] = {}
+        futures: dict[int, Future[Any]] = {}
         while True:
             try:
                 return self._drive(chunk, base, results, attempts, futures)
@@ -416,20 +450,27 @@ class _Supervisor:
                         results[i] = self._call_serial(chunk[i], base + i, attempts[i])
                     return results
 
-    def _submit(self, chunk: Sequence, base: int, i: int) -> Future:
+    def _submit(self, chunk: Sequence[Any], base: int, i: int) -> Future[Any]:
         return self._ensure_pool().submit(
             _run_task, self.fn, chunk[i], self.plan, base + i, True
         )
 
     @staticmethod
-    def _harvest(futures: dict[int, Future], results: list) -> None:
+    def _harvest(futures: dict[int, Future[Any]], results: list[Any]) -> None:
         """Collect every future that completed cleanly before a pool death."""
         for i, future in futures.items():
             if results[i] is _UNSET and future.done() and not future.cancelled():
                 if future.exception() is None:
                     results[i] = future.result()
 
-    def _drive(self, chunk, base, results, attempts, futures) -> list:
+    def _drive(
+        self,
+        chunk: Sequence[Any],
+        base: int,
+        results: list[Any],
+        attempts: list[int],
+        futures: dict[int, Future[Any]],
+    ) -> list[Any]:
         for i in range(len(chunk)):
             if results[i] is _UNSET and i not in futures:
                 futures[i] = self._submit(chunk, base, i)
@@ -485,7 +526,15 @@ class _Supervisor:
                 futures[index] = self._submit(chunk, base, index)
         return results
 
-    def _before_retry(self, ordinal, attempts, i, reason, cause=None, task=None) -> None:
+    def _before_retry(
+        self,
+        ordinal: int,
+        attempts: list[int],
+        i: int,
+        reason: str,
+        cause: BaseException | None = None,
+        task: Any = None,
+    ) -> None:
         """Account one failure; sleep the backoff or raise when exhausted."""
         attempts[i] += 1
         if attempts[i] > self.policy.max_retries:
@@ -500,7 +549,7 @@ class _Supervisor:
         if delay > 0:
             time.sleep(delay)
 
-    def _call_serial(self, task, ordinal: int, attempts: int = 0):
+    def _call_serial(self, task: Any, ordinal: int, attempts: int = 0) -> Any:
         """In-process execution with the same retry budget as the pool path."""
         while True:
             try:

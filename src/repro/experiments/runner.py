@@ -41,11 +41,20 @@ Usage::
                                           # adaptively-sampled campaign with
                                           # checkpoint/resume and a summary
                                           # report (see repro.campaigns)
-    cprecycle-experiments lint src/ tests/
+    cprecycle-experiments lint --project src/ tests/
                                           # determinism/process-safety static
-                                          # analysis (rules RPR001-RPR006,
-                                          # see repro.lint); also available
-                                          # as repro-lint / python -m repro.lint
+                                          # analysis (per-file rules
+                                          # RPR001-RPR006 plus the
+                                          # whole-program rules RPR007-RPR010
+                                          # with --project, see repro.lint);
+                                          # also available as repro-lint /
+                                          # python -m repro.lint
+    cprecycle-experiments sanitize-diff DIR1 DIR2 [DIR...]
+                                          # digest-compare REPRO_SANITIZE
+                                          # spools from runs differing only in
+                                          # engine or worker count; exits 1 on
+                                          # any mismatch (see
+                                          # repro.utils.sanitize)
 """
 
 from __future__ import annotations
@@ -168,6 +177,46 @@ def _print_registries() -> None:
         print(f"  {code}  {rule_name:<20} {summary}")
 
 
+def _sanitize_diff_main(argv: list[str]) -> int:
+    """``cprecycle-experiments sanitize-diff DIR DIR [DIR...]``.
+
+    Merges each ``REPRO_SANITIZE`` spool directory into its ``report.json``
+    and digest-compares them against the first: task sets, outcome digests
+    and per-task RNG stream digests must all be bit-identical.  Exit codes
+    mirror ``repro lint``: 0 identical, 1 mismatches, 2 usage error.
+    """
+    import sys
+
+    from repro.utils.sanitize import diff_reports
+
+    prog = "cprecycle-experiments sanitize-diff"
+    if any(flag in argv for flag in ("-h", "--help")):
+        print(f"usage: {prog} DIR1 DIR2 [DIR...]")
+        print("  compare REPRO_SANITIZE spool directories for digest identity")
+        return 0
+    directories = [Path(raw) for raw in argv]
+    if len(directories) < 2:
+        print(f"{prog}: need at least two spool directories to compare", file=sys.stderr)
+        return 2
+    missing = [directory for directory in directories if not directory.is_dir()]
+    if missing:
+        for directory in missing:
+            print(f"{prog}: not a directory: {directory}", file=sys.stderr)
+        return 2
+    mismatches = diff_reports(directories)
+    for line in mismatches:
+        print(line)
+    if mismatches:
+        print(f"{prog}: {len(mismatches)} digest mismatch(es) found", file=sys.stderr)
+        return 1
+    print(
+        f"{prog}: {len(directories)} reports bit-identical "
+        f"(see report.json in each directory)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     import sys
@@ -187,6 +236,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.lint.cli import main as lint_main
 
         return lint_main(argv[1:], prog="cprecycle-experiments lint")
+    if argv and argv[0] == "sanitize-diff":
+        return _sanitize_diff_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Regenerate the CPRecycle evaluation figures")
     parser.add_argument(

@@ -1,0 +1,274 @@
+"""Approximate call graph with a pool-dispatch frontier.
+
+Built on top of :class:`repro.lint.project.ProjectContext`.  Nodes are
+``"<module>:<qualname>"`` for library functions and ``"<path>:<qualname>"``
+for scripts/tests; edges are resolved statically from four call shapes:
+
+* ``name(...)`` — same-module function, or an imported first-party one;
+* ``mod.name(...)`` / ``alias.name(...)`` — dotted first-party target;
+* ``self.method(...)`` — method of the enclosing class;
+* ``param.method(...)`` — when ``param`` carries a first-party class
+  annotation (``plan: FaultPlan | None`` resolves ``plan.apply`` to
+  ``FaultPlan.apply``).
+
+The *dispatch frontier* is the set of functions passed as the callable of
+``execute_points`` / ``parallel_map`` / ``parallel_map_chunked`` or of a
+``.submit(...)`` call; :meth:`CallGraph.worker_reachable` is the BFS
+closure of those roots — every function that may execute inside a worker
+process.  The graph is approximate by design: unresolvable calls simply
+contribute no edge, which keeps the reachable set a *lower* bound and the
+RPR008 shared-state rule free of wild false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.project import ModuleSymbols, ProjectContext
+
+__all__ = ["CallGraph", "DISPATCHERS", "DispatchSite", "dispatch_callable", "dispatch_payloads"]
+
+#: Pool-dispatch entry points (matched on the terminal call name, mirroring
+#: RPR003, so ``sweeps.execute_points`` and a bare import both count).
+DISPATCHERS = frozenset({"execute_points", "parallel_map", "parallel_map_chunked"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class DispatchSite:
+    """One pool-dispatch call site (``execute_points(fn, tasks)`` et al.)."""
+
+    ctx: FileContext
+    call: ast.Call
+    #: Node id of the enclosing function ("" at module level).
+    caller: str
+
+
+def dispatch_callable(call: ast.Call) -> ast.expr | None:
+    """The callable argument of a dispatcher call (positional or ``fn=``)."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+def dispatch_payloads(call: ast.Call) -> list[ast.expr]:
+    """Task-payload arguments of a dispatcher call.
+
+    Only the second positional argument and the ``items``/``tasks``
+    keywords carry data that crosses the process boundary; callbacks such
+    as ``on_chunk=`` run parent-side and must never be scanned (sweeps.py
+    legitimately passes local closures there).
+    """
+    payloads = list(call.args[1:2])
+    payloads.extend(
+        keyword.value for keyword in call.keywords if keyword.arg in {"items", "tasks"}
+    )
+    return payloads
+
+
+def _annotation_name(annotation: ast.expr | None) -> str:
+    """Dotted class name of a parameter annotation, unwrapping ``| None``,
+    ``Optional[...]`` and string annotations."""
+    if annotation is None:
+        return ""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return ""
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            name = _annotation_name(side)
+            if name and name != "None":
+                return name
+        return ""
+    if isinstance(annotation, ast.Subscript):
+        head = dotted_name(annotation.value)
+        if head.rpartition(".")[2] == "Optional":
+            return _annotation_name(
+                annotation.slice.elts[0]
+                if isinstance(annotation.slice, ast.Tuple)
+                else annotation.slice
+            )
+        return ""
+    name = dotted_name(annotation)
+    return "" if name == "None" else name
+
+
+class CallGraph:
+    """Static call graph + pool-dispatch frontier of a :class:`ProjectContext`."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        #: node id -> callee node ids
+        self.edges: dict[str, set[str]] = {}
+        self.dispatch_sites: list[DispatchSite] = []
+        self._roots: set[str] = set()
+        self._reachable: frozenset[str] | None = None
+        for ctx in project.contexts:
+            self._scan_file(ctx)
+
+    # -- construction ------------------------------------------------------- #
+    def _node_id(self, ctx: FileContext, qualname: str) -> str:
+        prefix = ctx.module if ctx.module else ctx.path
+        return f"{prefix}:{qualname}"
+
+    def _scan_file(self, ctx: FileContext) -> None:
+        symbols = self.project.symbols_for(ctx)
+        self._scan_scope(ctx, symbols, ctx.tree.body, qualname="", class_name="", params={})
+        for name, node in sorted(symbols.functions.items()):
+            class_name = name.partition(".")[0] if "." in name else ""
+            self._scan_scope(
+                ctx,
+                symbols,
+                node.body,
+                qualname=name,
+                class_name=class_name,
+                params=self._param_annotations(node),
+            )
+
+    def _param_annotations(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        args = node.args
+        every = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        return {
+            arg.arg: name
+            for arg in every
+            if (name := _annotation_name(arg.annotation))
+        }
+
+    def _scan_scope(
+        self,
+        ctx: FileContext,
+        symbols: ModuleSymbols,
+        body: list[ast.stmt],
+        qualname: str,
+        class_name: str,
+        params: dict[str, str],
+    ) -> None:
+        caller = self._node_id(ctx, qualname) if qualname else ""
+        for statement in body:
+            if not qualname and isinstance(statement, (*_FUNCTION_NODES, ast.ClassDef)):
+                continue  # top-level defs are scanned as their own scopes
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Call):
+                    self._scan_call(ctx, symbols, node, caller, class_name, params)
+
+    def _scan_call(
+        self,
+        ctx: FileContext,
+        symbols: ModuleSymbols,
+        call: ast.Call,
+        caller: str,
+        class_name: str,
+        params: dict[str, str],
+    ) -> None:
+        target = dotted_name(call.func)
+        terminal = target.rpartition(".")[2]
+        if terminal in DISPATCHERS:
+            self.dispatch_sites.append(DispatchSite(ctx=ctx, call=call, caller=caller))
+            fn_expr = dispatch_callable(call)
+            if fn_expr is not None:
+                root = self._resolve_expr(ctx, symbols, fn_expr, class_name, params)
+                if root:
+                    self._roots.add(root)
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "submit"
+            and call.args
+        ):
+            # Matched on the attribute alone: pool handles are often chained
+            # (self._ensure_pool().submit(...)), which dotted_name cannot see.
+            root = self._resolve_expr(ctx, symbols, call.args[0], class_name, params)
+            if root:
+                self._roots.add(root)
+        if caller and target:
+            callee = self._resolve_target(ctx, symbols, target, class_name, params)
+            if callee:
+                self.edges.setdefault(caller, set()).add(callee)
+
+    def _resolve_expr(
+        self,
+        ctx: FileContext,
+        symbols: ModuleSymbols,
+        expr: ast.expr,
+        class_name: str,
+        params: dict[str, str],
+    ) -> str:
+        target = dotted_name(expr)
+        return self._resolve_target(ctx, symbols, target, class_name, params) if target else ""
+
+    def _resolve_target(
+        self,
+        ctx: FileContext,
+        symbols: ModuleSymbols,
+        target: str,
+        class_name: str,
+        params: dict[str, str],
+    ) -> str:
+        head, _, rest = target.partition(".")
+        if head == "self" and class_name and rest:
+            qual = f"{class_name}.{rest}"
+            if qual in symbols.functions:
+                return self._node_id(ctx, qual)
+            return ""
+        if head in params and rest:
+            # param.method() with a first-party class annotation.
+            origin = self.project.origin_of(ctx, params[head])
+            return self._method_node(origin, rest)
+        origin = self.project.origin_of(ctx, target)
+        split = self.project.split_first_party(origin)
+        if split is None:
+            return ""
+        module_name, symbol = split
+        module = self.project.module(module_name)
+        if module is None:
+            return ""
+        if symbol in module.functions:
+            return f"{module_name}:{symbol}"
+        if symbol in module.classes:
+            init = f"{symbol}.__init__"
+            return f"{module_name}:{init}" if init in module.functions else ""
+        return ""
+
+    def _method_node(self, class_origin: str, method: str) -> str:
+        split = self.project.split_first_party(class_origin)
+        if split is None:
+            return ""
+        module_name, symbol = split
+        module = self.project.module(module_name)
+        if module is None:
+            return ""
+        qual = f"{symbol}.{method}"
+        return f"{module_name}:{qual}" if qual in module.functions else ""
+
+    # -- queries ------------------------------------------------------------ #
+    def worker_reachable(self) -> frozenset[str]:
+        """Node ids of every function reachable from the dispatch frontier."""
+        if self._reachable is None:
+            seen: set[str] = set()
+            queue = sorted(self._roots)
+            while queue:
+                node = queue.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                queue.extend(sorted(self.edges.get(node, ())))
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    def worker_shared_modules(self) -> frozenset[str]:
+        """Library modules containing at least one worker-reachable function."""
+        modules: set[str] = set()
+        for node in self.worker_reachable():
+            prefix = node.partition(":")[0]
+            if not prefix.endswith(".py"):
+                modules.add(prefix)
+        return frozenset(modules)

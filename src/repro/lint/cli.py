@@ -15,7 +15,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.lint.engine import lint_paths
+from repro.lint.engine import lint_paths, lint_project_paths
 
 __all__ = ["main", "build_parser"]
 
@@ -25,7 +25,8 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         prog=prog,
         description=(
             "Static analysis for the reproduction's determinism and "
-            "process-safety invariants (rules RPR001-RPR006)."
+            "process-safety invariants: per-file rules RPR001-RPR006, plus "
+            "the whole-program rules RPR007-RPR010 with --project."
         ),
     )
     parser.add_argument(
@@ -33,6 +34,14 @@ def build_parser(prog: str = "repro-lint") -> argparse.ArgumentParser:
         nargs="*",
         type=Path,
         help="files or directory trees to lint (e.g. src/ tests/ benchmarks/)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "whole-program mode: additionally run the cross-module rules "
+            "(RPR007-RPR010) over all given paths as one tree"
+        ),
     )
     parser.add_argument(
         "--list",
@@ -70,7 +79,8 @@ def main(argv: list[str] | None = None, prog: str = "repro-lint") -> int:
         for path in missing:
             print(f"{prog}: path does not exist: {path}", file=sys.stderr)
         return 2
-    diagnostics = lint_paths(args.paths)
+    runner = lint_project_paths if args.project else lint_paths
+    diagnostics = runner(args.paths)
     for diagnostic in diagnostics:
         print(diagnostic.render())
     if diagnostics:

@@ -1,0 +1,242 @@
+"""Whole-program context for the cross-module lint rules.
+
+The per-file engine (:mod:`repro.lint.engine`) hands each rule one parsed
+:class:`~repro.lint.engine.FileContext` at a time; the invariants behind
+RPR007–RPR010 span *files* — an RNG stream minted in ``repro.utils.rng``
+must not be consumed on both sides of a pool dispatch in another module,
+and a registry entry written in one module must resolve from every other.
+:class:`ProjectContext` is the shared substrate those rules run on:
+
+* every file is parsed **once** (the same :class:`FileContext` objects the
+  per-file rules saw are reused, never re-parsed);
+* per-module symbol tables (functions, classes, module-level globals) and
+  import tables are built lazily and cached;
+* :meth:`ProjectContext.origin_of` resolves a dotted name used in one
+  module to its canonical defining origin, following first-party imports —
+  including relative imports and ``__init__`` re-export chains — and
+  leaving third-party names (``numpy.random.default_rng``) untouched.
+
+Modules iterate in deterministic ``(module, path)`` order so diagnostics
+and the derived call graph never depend on filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.lint.engine import FileContext, dotted_name
+
+if TYPE_CHECKING:
+    from repro.lint.callgraph import CallGraph
+
+__all__ = ["ModuleSymbols", "ProjectContext"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ModuleSymbols:
+    """Symbol and import tables of one parsed module (built once, cached)."""
+
+    ctx: FileContext
+    #: True for ``__init__.py`` files (relative-import base keeps the full
+    #: dotted path instead of dropping the last component).
+    is_package: bool
+    #: Local name -> dotted origin (``np`` -> ``numpy``,
+    #: ``child_rng`` -> ``repro.utils.rng.child_rng``), including imports
+    #: nested inside function bodies (lazy imports resolve identically).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: ``name`` or ``Class.method`` -> defining node, top level only.
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(default_factory=dict)
+    #: Top-level class name -> defining node.
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: Module-level bound names -> the statement that binds them.
+    module_globals: dict[str, ast.stmt] = field(default_factory=dict)
+
+    @property
+    def module(self) -> str:
+        return self.ctx.module
+
+    def defines(self, name: str) -> bool:
+        """Does this module itself bind ``name`` at top level?"""
+        return (
+            name in self.functions
+            or name in self.classes
+            or name in self.module_globals
+        )
+
+
+def _relative_base(module: str, is_package: bool, level: int) -> str:
+    """Base package a ``level``-deep relative import resolves against."""
+    parts = module.split(".") if module else []
+    if not is_package and parts:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop <= len(parts) else []
+    return ".".join(parts)
+
+
+def _build_symbols(ctx: FileContext) -> ModuleSymbols:
+    is_package = ctx.path.endswith("__init__.py")
+    symbols = ModuleSymbols(ctx=ctx, is_package=is_package)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                symbols.imports[item.asname or item.name.split(".")[0]] = item.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                base = _relative_base(ctx.module, is_package, node.level)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                origin = f"{base}.{item.name}" if base else item.name
+                symbols.imports[item.asname or item.name] = origin
+    for statement in ctx.tree.body:
+        if isinstance(statement, _FUNCTION_NODES):
+            symbols.functions[statement.name] = statement
+        elif isinstance(statement, ast.ClassDef):
+            symbols.classes[statement.name] = statement
+            for member in statement.body:
+                if isinstance(member, _FUNCTION_NODES):
+                    symbols.functions[f"{statement.name}.{member.name}"] = member
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    symbols.module_globals[target.id] = statement
+        elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+            symbols.module_globals[statement.target.id] = statement
+    return symbols
+
+
+class ProjectContext:
+    """All parsed files of one lint run, with cross-module name resolution."""
+
+    def __init__(self, contexts: Sequence[FileContext]) -> None:
+        #: Deterministic iteration order: dotted module name first (library
+        #: modules cluster together), path as tie-break for non-library files.
+        self.contexts: tuple[FileContext, ...] = tuple(
+            sorted(contexts, key=lambda ctx: (ctx.module, ctx.path))
+        )
+        self._symbols_by_path: dict[str, ModuleSymbols] = {}
+        self._module_index: dict[str, str] = {
+            ctx.module: ctx.path for ctx in self.contexts if ctx.module
+        }
+        self._origin_cache: dict[tuple[str, str], str] = {}
+        self._callgraph: CallGraph | None = None
+
+    # -- symbol tables ------------------------------------------------------ #
+    def symbols_for(self, ctx: FileContext) -> ModuleSymbols:
+        """The (cached) symbol table of one parsed file."""
+        table = self._symbols_by_path.get(ctx.path)
+        if table is None:
+            table = _build_symbols(ctx)
+            self._symbols_by_path[ctx.path] = table
+        return table
+
+    def module(self, name: str) -> ModuleSymbols | None:
+        """Symbol table of the project module with dotted name ``name``."""
+        path = self._module_index.get(name)
+        if path is None:
+            return None
+        for ctx in self.contexts:
+            if ctx.path == path:
+                return self.symbols_for(ctx)
+        return None
+
+    def modules(self) -> Iterator[ModuleSymbols]:
+        """Library modules in deterministic (module, path) order."""
+        for ctx in self.contexts:
+            if ctx.module:
+                yield self.symbols_for(ctx)
+
+    def has_module_prefix(self, prefix: str) -> bool:
+        """Is any project module under the dotted package ``prefix``?"""
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for name in self._module_index
+        )
+
+    # -- name resolution ---------------------------------------------------- #
+    def split_first_party(self, origin: str) -> tuple[str, str] | None:
+        """Split a canonical dotted origin into ``(module, symbol)``.
+
+        Matches the longest project-module prefix; returns ``None`` for
+        third-party names and for bare module references.
+        """
+        parts = origin.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if module in self._module_index:
+                return module, ".".join(parts[cut:])
+        return None
+
+    def origin_of(self, ctx: FileContext, dotted: str) -> str:
+        """Canonical defining origin of ``dotted`` as used inside ``ctx``.
+
+        Resolves the head through the file's import table, then follows
+        first-party re-export chains (``repro.api.CampaignSpec`` ->
+        ``repro.api.campaign.CampaignSpec``).  Unresolvable names — locals,
+        builtins, third-party attributes — come back normalised but
+        otherwise untouched.
+        """
+        if not dotted:
+            return dotted
+        key = (ctx.path, dotted)
+        cached = self._origin_cache.get(key)
+        if cached is not None:
+            return cached
+        symbols = self.symbols_for(ctx)
+        head, _, tail = dotted.partition(".")
+        origin = symbols.imports.get(head)
+        if origin is None:
+            if symbols.defines(head) and ctx.module:
+                origin = f"{ctx.module}.{head}"
+            else:
+                origin = head
+        resolved = self._chase(f"{origin}.{tail}" if tail else origin, seen=set())
+        self._origin_cache[key] = resolved
+        return resolved
+
+    def _chase(self, origin: str, seen: set[str]) -> str:
+        """Follow first-party import/re-export chains to the defining module."""
+        while origin not in seen:
+            seen.add(origin)
+            split = self.split_first_party(origin)
+            if split is None:
+                return origin
+            module_name, symbol = split
+            symbols = self.module(module_name)
+            if symbols is None:
+                return origin
+            head, _, tail = symbol.partition(".")
+            if symbols.defines(head):
+                return origin
+            via = symbols.imports.get(head)
+            if via is None:
+                candidate = f"{module_name}.{head}"
+                if candidate != origin and candidate in self._module_index:
+                    origin = f"{candidate}.{tail}" if tail else candidate
+                    continue
+                return origin
+            origin = f"{via}.{tail}" if tail else via
+        return origin
+
+    def resolve_call(self, ctx: FileContext, call: ast.Call) -> str:
+        """Canonical origin of a call's target (``""`` when not a name chain)."""
+        return self.origin_of(ctx, dotted_name(call.func))
+
+    # -- call graph (built on demand, cached) ------------------------------- #
+    def callgraph(self) -> CallGraph:
+        from repro.lint.callgraph import CallGraph
+
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self)
+        return self._callgraph

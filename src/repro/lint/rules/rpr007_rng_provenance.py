@@ -1,0 +1,400 @@
+"""RPR007: cross-module RNG-stream provenance races.
+
+The cross-file generalisation of RPR001.  A ``Generator`` minted from the
+blessed helpers (``child_rng``/``ensure_rng``/``spawn_rngs``) or straight
+from numpy owns one underlying bit stream.  When that stream is pickled
+into a pool-dispatched task, the worker replays the *same* stream the
+parent still holds — so a value that flows both into a dispatch payload and
+into parent-side draws (or into two distinct dispatches) yields overlapping
+draws whose correlation silently varies with worker count and chunk order.
+This is the exact shape of the PR 4 ``realization_rngs`` seed-aliasing bug.
+
+The rule runs per library function on top of the
+:class:`~repro.lint.project.ProjectContext`: producer calls are resolved
+cross-module through import tables, a conservative taint pass tracks which
+local names carry which stream roots (through tuples, comprehensions,
+subscripts and first-party constructor calls — but *not* through consuming
+calls such as ``int(rng.integers(...))``, whose results are plain data),
+and project functions that *return* a carried stream (``realization_rngs``)
+are promoted to producers by fixpoint so their callers are checked too.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.callgraph import DISPATCHERS, dispatch_payloads
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.project import ProjectContext
+from repro.lint.rules import ProjectRule
+
+__all__ = ["RngProvenanceRule", "BASE_PRODUCERS"]
+
+#: Canonical origins whose call results own an RNG bit stream.
+BASE_PRODUCERS = frozenset(
+    {
+        "repro.utils.rng.child_rng",
+        "repro.utils.rng.ensure_rng",
+        "repro.utils.rng.spawn_rngs",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.Generator",
+    }
+)
+
+#: AST nodes a stream flows *through* unchanged (for use-classification).
+_CARRYING_HOPS = (
+    ast.Tuple,
+    ast.List,
+    ast.Set,
+    ast.Dict,
+    ast.Starred,
+    ast.IfExp,
+    ast.BoolOp,
+    ast.ListComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.DictComp,
+    ast.comprehension,
+    ast.keyword,
+    ast.Subscript,
+    ast.FormattedValue,
+    ast.JoinedStr,
+)
+
+_Root = tuple[int, int, str]
+
+
+def _is_constructor_like(origin: str, project: ProjectContext) -> bool:
+    """Calls that embed their arguments into the returned object.
+
+    First-party classes always qualify; otherwise fall back to the CamelCase
+    naming convention so dataclass payload wrappers in fixtures and tests
+    (``Task(rng=r)``) still count without needing their defining module.
+    """
+    split = project.split_first_party(origin)
+    if split is not None:
+        module = project.module(split[0])
+        head = split[1].partition(".")[0]
+        if module is not None and head in module.classes:
+            return True
+    terminal = origin.rpartition(".")[2]
+    return bool(terminal[:1].isupper())
+
+
+class _FunctionTaint:
+    """Taint state of one function body (nested ``def``s are separate scopes)."""
+
+    def __init__(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        producers: frozenset[str],
+    ) -> None:
+        self.project = project
+        self.ctx = ctx
+        self.node = node
+        self.producers = producers
+        self.taint: dict[str, set[_Root]] = {}
+        self.labels: dict[_Root, str] = {}
+        self.statements = self._own_statements()
+        for _ in range(3):  # fixed-point over forward-referencing bindings
+            for statement in self.statements:
+                self._bind(statement)
+
+    def _own_statements(self) -> list[ast.stmt]:
+        """Statements of this function, excluding nested function bodies."""
+        collected: list[ast.stmt] = []
+        stack: list[ast.stmt] = list(self.node.body)
+        while stack:
+            statement = stack.pop(0)
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            collected.append(statement)
+            for child_field in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(statement, child_field, []) or [])
+            for handler in getattr(statement, "handlers", []) or []:
+                stack.extend(handler.body)
+        return collected
+
+    # -- taint propagation -------------------------------------------------- #
+    def carriers(
+        self, expr: ast.expr | None, scope: dict[str, set[_Root]] | None = None
+    ) -> set[_Root]:
+        """Stream roots carried by ``expr`` (empty set = plain data)."""
+        if expr is None:
+            return set()
+        bound = scope or {}
+        if isinstance(expr, ast.Name):
+            return set(bound.get(expr.id) or self.taint.get(expr.id, ()))
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            roots: set[_Root] = set()
+            for element in expr.elts:
+                roots |= self.carriers(element, bound)
+            return roots
+        if isinstance(expr, ast.Dict):
+            roots = set()
+            for value in expr.values:
+                roots |= self.carriers(value, bound)
+            return roots
+        if isinstance(expr, ast.Starred):
+            return self.carriers(expr.value, bound)
+        if isinstance(expr, ast.Subscript):
+            return self.carriers(expr.value, bound)
+        if isinstance(expr, ast.IfExp):
+            return self.carriers(expr.body, bound) | self.carriers(expr.orelse, bound)
+        if isinstance(expr, ast.BoolOp):
+            roots = set()
+            for value in expr.values:
+                roots |= self.carriers(value, bound)
+            return roots
+        if isinstance(expr, ast.Await):
+            return self.carriers(expr.value, bound)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            inner = dict(bound)
+            for generator in expr.generators:
+                iter_roots = self.carriers(generator.iter, inner)
+                if iter_roots:
+                    for name_node in ast.walk(generator.target):
+                        if isinstance(name_node, ast.Name):
+                            inner[name_node.id] = iter_roots
+            if isinstance(expr, ast.DictComp):
+                return self.carriers(expr.value, inner)
+            return self.carriers(expr.elt, inner)
+        if isinstance(expr, ast.Call):
+            origin = self.project.resolve_call(self.ctx, expr)
+            if origin in self.producers:
+                root = (expr.lineno, expr.col_offset, dotted_name(expr.func))
+                self.labels.setdefault(root, dotted_name(expr.func))
+                return {root}
+            if origin and _is_constructor_like(origin, self.project):
+                roots = set()
+                for argument in expr.args:
+                    roots |= self.carriers(argument, bound)
+                for keyword in expr.keywords:
+                    roots |= self.carriers(keyword.value, bound)
+                return roots
+            return set()  # consuming call: result is plain data
+        return set()
+
+    def _bind(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            roots = self.carriers(statement.value)
+            if roots:
+                for target in statement.targets:
+                    self._bind_target(target, roots)
+        elif isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            roots = self.carriers(statement.value)
+            if roots:
+                self._bind_target(statement.target, roots)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            roots = self.carriers(statement.iter)
+            if roots:
+                self._bind_target(statement.target, roots)
+
+    def _bind_target(self, target: ast.expr, roots: set[_Root]) -> None:
+        for name_node in ast.walk(target):
+            if isinstance(name_node, ast.Name):
+                self.taint.setdefault(name_node.id, set()).update(roots)
+                for root in roots:
+                    # Prefer the first bound variable name over the callee name.
+                    if self.labels.get(root) == root[2]:
+                        self.labels[root] = name_node.id
+
+    def returns_stream(self) -> bool:
+        return any(
+            isinstance(statement, ast.Return) and self.carriers(statement.value)
+            for statement in self.statements
+        )
+
+
+class RngProvenanceRule(ProjectRule):
+    code = "RPR007"
+    name = "rng-provenance"
+    summary = (
+        "an RNG stream must not flow both into a pool-dispatched task and "
+        "into parent-side code (or into two dispatches)"
+    )
+    invariant = (
+        "Each Generator/SeedSequence-derived stream is consumed on exactly one "
+        "side of every process boundary: a stream pickled into a dispatched "
+        "task is a *copy* that replays the parent's underlying bit stream, so "
+        "sharing one stream across a dispatch boundary (or across two "
+        "dispatched tasks) produces overlapping draws whose correlation "
+        "depends on worker count and chunk order.  Derive per-task child "
+        "streams (child_rng(seed, *stream_ids)) instead — the cross-module "
+        "generalisation of RPR001, guarding the exact shape of the PR 4 "
+        "realization_rngs bug."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        producers = self._producer_fixpoint(project)
+        for symbols in project.modules():
+            for qualname, node in sorted(symbols.functions.items()):
+                yield from self._check_function(project, symbols.ctx, qualname, node, producers)
+
+    def _producer_fixpoint(self, project: ProjectContext) -> frozenset[str]:
+        """BASE_PRODUCERS plus project functions that return a carried stream."""
+        producers = set(BASE_PRODUCERS)
+        changed = True
+        while changed:
+            changed = False
+            for symbols in project.modules():
+                for qualname, node in sorted(symbols.functions.items()):
+                    if "." in qualname:  # methods resolve rarely; keep the set tight
+                        continue
+                    canonical = f"{symbols.module}.{qualname}"
+                    if canonical in producers:
+                        continue
+                    taint = _FunctionTaint(project, symbols.ctx, node, frozenset(producers))
+                    if taint.returns_stream():
+                        producers.add(canonical)
+                        changed = True
+        return frozenset(producers)
+
+    def _check_function(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        qualname: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        producers: frozenset[str],
+    ) -> Iterator[Diagnostic]:
+        taint = _FunctionTaint(project, ctx, node, producers)
+        if not taint.taint and not self._has_producer_call(taint):
+            return
+        parents = self._parent_map(taint.statements)
+        dispatches = self._dispatch_calls(taint.statements)
+        dispatched: dict[_Root, list[ast.Call]] = {}
+        for call in dispatches:
+            payloads = dispatch_payloads(call)
+            roots: set[_Root] = set()
+            for payload in payloads:
+                roots |= taint.carriers(payload)
+            for root in sorted(roots):
+                dispatched.setdefault(root, []).append(call)
+        parent_uses = self._parent_side_uses(taint, parents, dispatches)
+        for root, calls in sorted(dispatched.items()):
+            label = taint.labels.get(root, root[2])
+            if len(calls) > 1:
+                first = calls[0]
+                for call in calls[1:]:
+                    yield ctx.diagnostic(
+                        call,
+                        self.code,
+                        f"RNG stream '{label}' (created line {root[0]}) is "
+                        f"dispatched into this pool call and into the dispatch at "
+                        f"line {first.lineno}; two pickled copies replay the same "
+                        "underlying bit stream — derive a child stream per task "
+                        "with child_rng(seed, *stream_ids)",
+                    )
+            use_line = parent_uses.get(root)
+            if use_line is not None:
+                yield ctx.diagnostic(
+                    calls[0],
+                    self.code,
+                    f"RNG stream '{label}' (created line {root[0]}) is dispatched "
+                    f"into the pool here but also consumed parent-side at line "
+                    f"{use_line}; the worker's pickled copy replays the parent's "
+                    "stream, so draws overlap — split into separate child streams "
+                    "for parent-side and dispatched work",
+                )
+
+    def _has_producer_call(self, taint: _FunctionTaint) -> bool:
+        return any(
+            taint.carriers(node)
+            for statement in taint.statements
+            for node in ast.walk(statement)
+            if isinstance(node, ast.Call)
+        )
+
+    def _dispatch_calls(self, statements: list[ast.stmt]) -> list[ast.Call]:
+        calls = [
+            node
+            for statement in statements
+            for node in ast.walk(statement)
+            if isinstance(node, ast.Call)
+            and dotted_name(node.func).rpartition(".")[2] in DISPATCHERS
+        ]
+        return sorted(calls, key=lambda call: (call.lineno, call.col_offset))
+
+    def _parent_map(self, statements: list[ast.stmt]) -> dict[ast.AST, ast.AST]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for statement in statements:
+            for parent in ast.walk(statement):
+                for child in ast.iter_child_nodes(parent):
+                    parents.setdefault(child, parent)
+        return parents
+
+    def _parent_side_uses(
+        self,
+        taint: _FunctionTaint,
+        parents: dict[ast.AST, ast.AST],
+        dispatches: list[ast.Call],
+    ) -> dict[_Root, int]:
+        """First parent-side consumption line per root.
+
+        A tainted name load counts as parent-side when it is drawn from
+        (attribute access), returned, compared/operated on, or passed to a
+        consuming call — anywhere *except* pure propagation into bindings
+        and carriage into a dispatch payload.
+        """
+        uses: dict[_Root, int] = {}
+        dispatch_set = set(dispatches)
+        for statement in taint.statements:
+            for node in ast.walk(statement):
+                if not isinstance(node, ast.Name) or not isinstance(node.ctx, ast.Load):
+                    continue
+                roots = taint.taint.get(node.id)
+                if not roots:
+                    continue
+                if self._is_parent_side(node, parents, taint, dispatch_set):
+                    for root in roots:
+                        line = uses.get(root)
+                        if line is None or node.lineno < line:
+                            uses[root] = node.lineno
+        return uses
+
+    def _is_parent_side(
+        self,
+        load: ast.Name,
+        parents: dict[ast.AST, ast.AST],
+        taint: _FunctionTaint,
+        dispatches: set[ast.Call],
+    ) -> bool:
+        child: ast.AST = load
+        parent = parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.Attribute):
+                return True  # a draw (rng.integers(...)) always runs parent-side
+            if isinstance(parent, (ast.BinOp, ast.Compare, ast.UnaryOp, ast.Return)):
+                return isinstance(parent, ast.Return)
+            if isinstance(parent, ast.keyword):
+                grandparent = parents.get(parent)
+                if isinstance(grandparent, ast.Call) and grandparent in dispatches:
+                    # fn=/items=/tasks= cross the boundary; anything else
+                    # (on_chunk=, policy=) is a parent-side consumer.
+                    return parent.arg not in {"fn", "items", "tasks"}
+                child, parent = parent, grandparent
+                continue
+            if isinstance(parent, ast.Call):
+                if parent in dispatches:
+                    payload_nodes = dispatch_payloads(parent)
+                    return child not in payload_nodes and child is not (
+                        parent.args[0] if parent.args else None
+                    )
+                origin = taint.project.resolve_call(taint.ctx, parent)
+                if origin and _is_constructor_like(origin, taint.project):
+                    child, parent = parent, parents.get(parent)
+                    continue
+                return True  # consuming call executes in the parent
+            if isinstance(parent, _CARRYING_HOPS):
+                child, parent = parent, parents.get(parent)
+                continue
+            if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.For, ast.AsyncFor)):
+                return False  # pure propagation into another binding
+            return False
+        return False

@@ -1,0 +1,273 @@
+"""RPR009: unpicklable values reaching the pool-dispatch frontier transitively.
+
+RPR003 catches a lambda handed *directly* to ``execute_points``; this rule
+covers what it structurally cannot: the lambda bound to a module-level name
+in another file, the ``functools.partial`` wrapping a local function, and
+the closure / open file handle that rides inside a task payload through
+intermediate lists and comprehensions.  All of these pickle-fail only when
+the pool actually spawns — i.e. in exactly the configurations CI exercises
+least — or worse, "work" serially and crash at ``--workers 2``.
+
+Scanned surface is deliberately narrow: only the callable argument and the
+task payloads (second positional / ``items=`` / ``tasks=``) of a dispatch
+cross the process boundary.  Parent-side callbacks such as ``on_chunk=``
+are never scanned — sweeps.py legitimately passes local closures there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.callgraph import DISPATCHERS, dispatch_callable, dispatch_payloads
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.engine import FileContext, dotted_name
+from repro.lint.project import ProjectContext
+from repro.lint.rules import ProjectRule
+
+__all__ = ["PicklabilityReachRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class _Scope:
+    """Unpicklable bindings of one function (or module) scope."""
+
+    def __init__(self) -> None:
+        #: name -> human-readable reason it cannot cross a process boundary
+        self.tainted: dict[str, str] = {}
+        #: names bound to nested ``def``s (RPR003's territory for fn args,
+        #: but payload-embedding them is ours)
+        self.nested_defs: set[str] = set()
+
+    def scan(self, body: list[ast.stmt]) -> None:
+        stack: list[ast.stmt] = list(body)
+        while stack:
+            statement = stack.pop(0)
+            if isinstance(statement, _FUNCTION_NODES):
+                self.nested_defs.add(statement.name)
+                continue  # nested scopes bind their own names
+            if isinstance(statement, ast.ClassDef):
+                continue
+            if isinstance(statement, ast.Assign):
+                self._scan_assign(statement)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and dotted_name(item.context_expr.func).rpartition(".")[2]
+                        == "open"
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        self.tainted[item.optional_vars.id] = (
+                            "an open file handle (open(...) as "
+                            f"{item.optional_vars.id})"
+                        )
+            for child_field in ("body", "orelse", "finalbody"):
+                stack.extend(getattr(statement, child_field, []) or [])
+            for handler in getattr(statement, "handlers", []) or []:
+                stack.extend(handler.body)
+
+    def _scan_assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        name = node.targets[0].id
+        value = node.value
+        if isinstance(value, ast.Lambda):
+            self.tainted[name] = "a lambda (pickle cannot resolve '<lambda>')"
+        elif (
+            isinstance(value, ast.Call)
+            and dotted_name(value.func).rpartition(".")[2] == "open"
+        ):
+            self.tainted[name] = "an open file handle (open(...))"
+        elif self._carries_taint(value):
+            self.tainted[name] = f"a container holding {self._carried_reason(value)}"
+
+    def _carries_taint(self, expr: ast.expr) -> bool:
+        return self._carried_reason(expr) is not None
+
+    def _carried_reason(self, expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            return self.tainted.get(expr.id)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                reason = self._carried_reason(element)
+                if reason:
+                    return reason
+            return None
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    reason = self._carried_reason(value)
+                    if reason:
+                        return reason
+            return None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._carried_reason(expr.elt)
+        if isinstance(expr, ast.DictComp):
+            return self._carried_reason(expr.value)
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        return None
+
+
+class PicklabilityReachRule(ProjectRule):
+    code = "RPR009"
+    name = "pickle-reach"
+    summary = (
+        "closures, lambdas, and open handles must not reach a pool dispatch "
+        "through payloads or cross-module callables"
+    )
+    invariant = (
+        "Everything crossing a process boundary is pickled: the dispatched "
+        "callable must resolve by qualified name from a fresh import, and "
+        "task payloads must contain only picklable data.  Module-level "
+        "lambdas, functools.partial over local functions, closures, and open "
+        "file handles all fail exactly when the pool spawns — or pass "
+        "serially and crash at --workers 2.  RPR003 catches the direct "
+        "lambda argument; this rule follows the transitive routes."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for ctx in project.contexts:
+            yield from self._check_file(project, ctx)
+
+    def _check_file(self, project: ProjectContext, ctx: FileContext) -> Iterator[Diagnostic]:
+        module_scope = _Scope()
+        module_scope.scan(
+            [s for s in ctx.tree.body if not isinstance(s, (*_FUNCTION_NODES, ast.ClassDef))]
+        )
+        # Module-level dispatches check against the module scope itself.
+        yield from self._check_scope_dispatches(project, ctx, ctx.tree.body, module_scope, True)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                scope = _Scope()
+                scope.scan(node.body)
+                yield from self._check_scope_dispatches(project, ctx, node.body, scope, False)
+
+    def _check_scope_dispatches(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        scope: _Scope,
+        module_level: bool,
+    ) -> Iterator[Diagnostic]:
+        stack: list[ast.AST] = [
+            s for s in body if not isinstance(s, (*_FUNCTION_NODES, ast.ClassDef))
+        ]
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+                continue  # nested scopes run their own pass
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func).rpartition(".")[2] in DISPATCHERS
+            ):
+                yield from self._check_dispatch(project, ctx, node, scope, module_level)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_dispatch(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        call: ast.Call,
+        scope: _Scope,
+        module_level: bool,
+    ) -> Iterator[Diagnostic]:
+        fn_expr = dispatch_callable(call)
+        if fn_expr is not None:
+            yield from self._check_callable(project, ctx, call, fn_expr, scope, module_level)
+        for payload in dispatch_payloads(call):
+            yield from self._check_payload(ctx, call, payload, scope)
+
+    def _check_callable(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        call: ast.Call,
+        fn_expr: ast.expr,
+        scope: _Scope,
+        module_level: bool,
+    ) -> Iterator[Diagnostic]:
+        # functools.partial(...) wrapping something unpicklable.
+        if isinstance(fn_expr, ast.Call):
+            origin = project.resolve_call(ctx, fn_expr)
+            if origin.rpartition(".")[2] == "partial" and fn_expr.args:
+                wrapped = fn_expr.args[0]
+                if isinstance(wrapped, ast.Lambda):
+                    yield ctx.diagnostic(
+                        call,
+                        self.code,
+                        "functools.partial over a lambda is dispatched to the "
+                        "pool; the lambda cannot be pickled — use a "
+                        "module-level function",
+                    )
+                elif isinstance(wrapped, ast.Name) and (
+                    wrapped.id in scope.nested_defs or wrapped.id in scope.tainted
+                ):
+                    yield ctx.diagnostic(
+                        call,
+                        self.code,
+                        f"functools.partial over local '{wrapped.id}' is "
+                        "dispatched to the pool; locals cannot be pickled by "
+                        "qualified name — wrap a module-level function instead",
+                    )
+            return
+        if not isinstance(fn_expr, ast.Name):
+            return
+        name = fn_expr.id
+        if name in scope.nested_defs or (
+            not module_level and name in scope.tainted
+        ):
+            return  # direct local defs/lambdas are RPR003's finding
+        origin = project.origin_of(ctx, name)
+        split = project.split_first_party(origin)
+        if split is None:
+            if module_level and name in scope.tainted:
+                yield ctx.diagnostic(
+                    call,
+                    self.code,
+                    f"dispatched callable '{name}' is {scope.tainted[name]}; "
+                    "pickle resolves functions by qualified name and "
+                    "'<lambda>' has none — define a real module-level function",
+                )
+            return
+        module_name, symbol = split
+        target_module = project.module(module_name)
+        if target_module is None or "." in symbol:
+            return
+        defining = target_module.module_globals.get(symbol)
+        if defining is not None and isinstance(getattr(defining, "value", None), ast.Lambda):
+            yield ctx.diagnostic(
+                call,
+                self.code,
+                f"dispatched callable '{name}' resolves to a module-level "
+                f"lambda in '{module_name}'; pickle resolves functions by "
+                "qualified name and '<lambda>' has none — define it with def",
+            )
+
+    def _check_payload(
+        self, ctx: FileContext, call: ast.Call, payload: ast.expr, scope: _Scope
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Lambda):
+                yield ctx.diagnostic(
+                    call,
+                    self.code,
+                    "task payload embeds a lambda; payloads are pickled into "
+                    "workers and lambdas cannot cross the boundary — pass "
+                    "data, not behaviour",
+                )
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                reason = scope.tainted.get(node.id)
+                if reason is None and node.id in scope.nested_defs:
+                    reason = "a function defined in an enclosing scope"
+                if reason is not None:
+                    yield ctx.diagnostic(
+                        call,
+                        self.code,
+                        f"task payload carries '{node.id}', {reason}; it "
+                        "reaches the pool dispatch transitively and cannot be "
+                        "pickled into workers",
+                    )

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.sanitize import record_seed_material
+
 __all__ = ["ensure_rng", "child_rng", "spawn_rngs"]
 
 
@@ -26,7 +28,12 @@ def child_rng(seed: int, *stream: int) -> np.random.Generator:
     ``stream`` identifies the component (e.g. packet index, interferer index)
     so that changing the number of packets in one sweep point does not shift
     the noise realisations of another.
+
+    Under ``REPRO_SANITIZE`` the seed material of every derived stream is
+    digested into the running task's sanitizer record (a no-op None-check
+    otherwise — see :mod:`repro.utils.sanitize`).
     """
+    record_seed_material(seed, stream)
     return np.random.default_rng(np.random.SeedSequence([seed, *stream]))
 
 

@@ -549,7 +549,7 @@ class TestEngine:
     def test_rule_registry_complete_and_sorted(self):
         codes = [rule.code for rule in ALL_RULES]
         assert codes == sorted(codes)
-        assert codes == [f"RPR00{i}" for i in range(1, 7)]
+        assert codes == [f"RPR{i:03d}" for i in range(1, 11)]
 
     def test_rules_table_matches_registry(self):
         table = rules_table()
