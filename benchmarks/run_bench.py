@@ -33,6 +33,19 @@ them with::
     python benchmarks/run_bench.py                      # all profiles
     python benchmarks/run_bench.py --profiles fig04     # one profile
     python benchmarks/run_bench.py --check benchmarks/BENCH_fig04.json
+
+Each committed baseline carries a ``gate`` section with its tolerated
+throughput regression (``max_regression_pct``).  ``--gate`` turns a run into
+a perf-regression gate: every fresh record's fast-path throughput is
+compared against the committed baseline of the same profile (``--baseline-dir``,
+default: benchmarks/) and the run exits non-zero when any profile regressed
+beyond its tolerance.  ``--gate --check FILES`` is the dry variant used in
+CI: the named records are schema-validated *and* gated against the
+baselines without running a benchmark (committed baselines gate against
+themselves, so the dry gate is deterministic)::
+
+    python benchmarks/run_bench.py --gate --profiles fig04
+    python benchmarks/run_bench.py --gate --check benchmarks/BENCH_*.json
 """
 
 from __future__ import annotations
@@ -559,6 +572,73 @@ def run_network_profile(
     }
 
 
+#: Tolerated fast-path throughput regression when a baseline's ``gate``
+#: section does not pin one.  Generous on purpose: the gate exists to catch
+#: order-of-magnitude slowdowns (an accidentally quadratic loop, a dropped
+#: batch path), not machine-to-machine variance.
+DEFAULT_MAX_REGRESSION_PCT = 50.0
+
+
+def _gate_metric(section: dict) -> str:
+    """The throughput key a profile reports (network profiles count
+    realizations, link and campaign profiles decoded packets)."""
+    return (
+        "realizations_per_second"
+        if "realizations_per_second" in section
+        else "decoded_packets_per_second"
+    )
+
+
+def gate_record(record: dict, baseline: dict) -> list[str]:
+    """Gate one result record against its committed baseline.
+
+    Returns a list of problems (empty = the gate passes).  The gated
+    quantity is the fast-path throughput; the tolerated regression comes
+    from the baseline's ``gate.max_regression_pct`` (default
+    ``DEFAULT_MAX_REGRESSION_PCT``), so noisy profiles can carry a wider
+    tolerance than stable ones.  Correctness is gated unconditionally: a
+    record whose engines disagreed fails regardless of speed.
+    """
+    profile = record.get("profile", "?")
+    problems: list[str] = []
+    if record.get("identical_decisions") is not True:
+        problems.append(f"{profile}: engines disagreed on decisions; gating refused")
+    metric = _gate_metric(baseline.get("fast", {}))
+    base = baseline.get("fast", {}).get(metric)
+    current = record.get("fast", {}).get(metric)
+    if not (isinstance(base, (int, float)) and base > 0):
+        problems.append(f"{profile}: baseline lacks a positive fast.{metric}")
+        return problems
+    if not (isinstance(current, (int, float)) and current > 0):
+        problems.append(f"{profile}: record lacks a positive fast.{metric}")
+        return problems
+    tolerance = baseline.get("gate", {}).get("max_regression_pct", DEFAULT_MAX_REGRESSION_PCT)
+    regression_pct = 100.0 * (1.0 - current / base)
+    if regression_pct > tolerance:
+        problems.append(
+            f"{profile}: fast.{metric} regressed {regression_pct:.1f}% vs the "
+            f"committed baseline ({current:g} vs {base:g}; tolerance {tolerance:g}%)"
+        )
+    return problems
+
+
+def gate_file(path: Path, baseline_dir: Path) -> list[str]:
+    """Gate one BENCH_*.json file against ``baseline_dir``'s baseline."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable or invalid JSON ({error})"]
+    profile = record.get("profile")
+    if not isinstance(profile, str) or not profile:
+        return [f"{path}: record names no profile; cannot locate its baseline"]
+    baseline_path = baseline_dir / f"BENCH_{profile}.json"
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: no usable baseline at {baseline_path} ({error})"]
+    return gate_record(record, baseline)
+
+
 def check_file(path: Path) -> list[str]:
     """Validate one BENCH_*.json; returns a list of problems (empty = ok)."""
     problems: list[str] = []
@@ -615,14 +695,35 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="validate existing BENCH_*.json files instead of running benchmarks",
     )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="fail (exit 1) when a profile's fast-path throughput regressed "
+        "beyond its baseline's gate.max_regression_pct; with --check, gate "
+        "the named files against the committed baselines without running "
+        "anything (the CI dry gate)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=Path(__file__).resolve().parent,
+        metavar="DIR",
+        help="directory holding the committed BENCH_<profile>.json baselines "
+        "gated against (default: benchmarks/)",
+    )
     args = parser.parse_args(argv)
 
     if args.check:
         problems = [problem for path in args.check for problem in check_file(path)]
+        if args.gate:
+            problems.extend(
+                problem for path in args.check for problem in gate_file(path, args.baseline_dir)
+            )
         for problem in problems:
             print(problem, file=sys.stderr)
         if not problems:
-            print(f"{len(args.check)} benchmark file(s) well-formed")
+            gated = " and gated" if args.gate else ""
+            print(f"{len(args.check)} benchmark file(s) well-formed{gated}")
         return 1 if problems else 0
 
     names = args.profiles if args.profiles else [*PROFILES, *NETWORK_PROFILES, *CAMPAIGN_PROFILES]
@@ -652,6 +753,20 @@ def main(argv: list[str] | None = None) -> int:
             rate = f"{record['fast']['realizations_per_second']:.1f} realizations/s"
             disagree = "  !! SERIAL AND POOLED SWEEPS DISAGREE"
         out_path = args.output_dir / f"BENCH_{name}.json"
+        if args.gate:
+            # Read the committed baseline before the fresh record can
+            # overwrite it (output dir and baseline dir coincide by default);
+            # a fresh record inherits the baseline's gate section so a
+            # regenerated baseline keeps its tolerance.
+            baseline_path = args.baseline_dir / f"BENCH_{name}.json"
+            try:
+                baseline = json.loads(baseline_path.read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                baseline = None
+                print(f"{name}: no usable baseline at {baseline_path} ({error})", file=sys.stderr)
+                failures += 1
+            if baseline is not None and "gate" in baseline:
+                record["gate"] = baseline["gate"]
         out_path.write_text(json.dumps(record, indent=2) + "\n")
         flag = "" if record["identical_decisions"] else disagree
         print(
@@ -661,6 +776,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         if not record["identical_decisions"]:
             failures += 1
+        if args.gate and baseline is not None:
+            gate_problems = gate_record(record, baseline)
+            for problem in gate_problems:
+                print(problem, file=sys.stderr)
+            if gate_problems:
+                failures += 1
+            else:
+                print(f"{name}: gate passed (baseline {baseline_path})")
     return 1 if failures else 0
 
 

@@ -1,0 +1,157 @@
+"""Tests for the BENCH perf-regression gate (``run_bench.py --gate``).
+
+The gate compares a fresh benchmark record's fast-path throughput against
+the committed ``BENCH_<profile>.json`` baseline and fails on a regression
+beyond the baseline's own tolerance — the CI hook that turns the committed
+BENCH files from documentation into an enforced floor.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from run_bench import (  # noqa: E402
+    DEFAULT_MAX_REGRESSION_PCT,
+    gate_file,
+    gate_record,
+    main,
+)
+
+BASELINE = {
+    "profile": "fig04",
+    "identical_decisions": True,
+    "fast": {"seconds": 1.0, "decoded_packets_per_second": 100.0},
+    "reference": {"seconds": 10.0, "decoded_packets_per_second": 10.0},
+    "speedup": 10.0,
+    "gate": {"max_regression_pct": 50.0},
+}
+
+
+def _record(throughput, **overrides):
+    record = copy.deepcopy(BASELINE)
+    record["fast"]["decoded_packets_per_second"] = throughput
+    record.update(overrides)
+    return record
+
+
+class TestGateRecord:
+    def test_equal_throughput_passes(self):
+        assert gate_record(_record(100.0), BASELINE) == []
+
+    def test_regression_within_tolerance_passes(self):
+        assert gate_record(_record(51.0), BASELINE) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        problems = gate_record(_record(10.0), BASELINE)
+        assert len(problems) == 1
+        assert "regressed 90.0%" in problems[0]
+        assert "tolerance 50%" in problems[0]
+
+    def test_improvement_passes(self):
+        assert gate_record(_record(250.0), BASELINE) == []
+
+    def test_tolerance_comes_from_the_baseline(self):
+        loose = copy.deepcopy(BASELINE)
+        loose["gate"] = {"max_regression_pct": 95.0}
+        assert gate_record(_record(10.0), loose) == []
+
+    def test_default_tolerance_when_baseline_has_no_gate(self):
+        bare = copy.deepcopy(BASELINE)
+        del bare["gate"]
+        assert DEFAULT_MAX_REGRESSION_PCT == 50.0
+        assert gate_record(_record(51.0), bare) == []
+        assert gate_record(_record(49.0), bare) != []
+
+    def test_decision_mismatch_fails_regardless_of_speed(self):
+        problems = gate_record(_record(100.0, identical_decisions=False), BASELINE)
+        assert any("disagreed" in problem for problem in problems)
+
+    def test_network_profiles_gate_on_realizations(self):
+        baseline = {
+            "profile": "fig13",
+            "identical_decisions": True,
+            "fast": {"seconds": 1.0, "realizations_per_second": 8.0},
+            "gate": {"max_regression_pct": 75.0},
+        }
+        record = copy.deepcopy(baseline)
+        record["fast"]["realizations_per_second"] = 4.0
+        assert gate_record(record, baseline) == []  # -50% within 75%
+        record["fast"]["realizations_per_second"] = 1.0
+        problems = gate_record(record, baseline)
+        assert problems and "realizations_per_second" in problems[0]
+
+    def test_missing_metrics_are_reported_not_crashes(self):
+        assert gate_record({"profile": "x", "identical_decisions": True}, {}) == [
+            "x: baseline lacks a positive fast.decoded_packets_per_second"
+        ]
+        no_current = copy.deepcopy(BASELINE)
+        del no_current["fast"]["decoded_packets_per_second"]
+        problems = gate_record(no_current, BASELINE)
+        assert problems == ["fig04: record lacks a positive fast.decoded_packets_per_second"]
+
+
+class TestGateFile:
+    def _write(self, directory, name, record):
+        path = directory / name
+        path.write_text(json.dumps(record))
+        return path
+
+    def test_gates_against_named_baseline(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_fig04.json", BASELINE)
+        fresh = self._write(tmp_path, "BENCH_fig04.json", _record(10.0))
+        problems = gate_file(fresh, baselines)
+        assert problems and "regressed" in problems[0]
+        ok = self._write(tmp_path, "ok.json", _record(95.0))
+        assert gate_file(ok, baselines) == []
+
+    def test_missing_baseline_is_a_problem(self, tmp_path):
+        fresh = self._write(tmp_path, "BENCH_fig04.json", _record(100.0))
+        problems = gate_file(fresh, tmp_path / "nowhere")
+        assert problems and "no usable baseline" in problems[0]
+
+    def test_unreadable_record_is_a_problem(self, tmp_path):
+        bad = tmp_path / "BENCH_fig04.json"
+        bad.write_text("{not json")
+        problems = gate_file(bad, tmp_path)
+        assert problems and "invalid JSON" in problems[0]
+
+    def test_record_without_profile_is_a_problem(self, tmp_path):
+        fresh = self._write(tmp_path, "BENCH_x.json", {"identical_decisions": True})
+        problems = gate_file(fresh, tmp_path)
+        assert problems and "names no profile" in problems[0]
+
+
+class TestGateCli:
+    def test_committed_baselines_gate_against_themselves(self, capsys):
+        committed = sorted(str(p) for p in BENCH_DIR.glob("BENCH_*.json"))
+        assert committed, "no committed baselines found"
+        assert main(["--gate", "--check", *committed]) == 0
+        assert "gated" in capsys.readouterr().out
+
+    def test_gate_check_fails_on_synthetic_regression(self, tmp_path, capsys):
+        committed = json.loads((BENCH_DIR / "BENCH_fig04.json").read_text())
+        slowed = copy.deepcopy(committed)
+        section = slowed["fast"]
+        for key in ("decoded_packets_per_second", "realizations_per_second"):
+            if key in section:
+                section[key] = section[key] / 10.0
+        path = tmp_path / "BENCH_fig04.json"
+        path.write_text(json.dumps(slowed))
+        assert main(["--gate", "--check", str(path)]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_check_without_gate_ignores_throughput(self, tmp_path, capsys):
+        committed = json.loads((BENCH_DIR / "BENCH_fig04.json").read_text())
+        slowed = copy.deepcopy(committed)
+        slowed["fast"]["decoded_packets_per_second"] /= 10.0
+        path = tmp_path / "BENCH_fig04.json"
+        path.write_text(json.dumps(slowed))
+        assert main(["--check", str(path)]) == 0
+        capsys.readouterr()

@@ -36,7 +36,8 @@ from repro.experiments.parallel import (
     FailurePolicy,
     resolve_workers,
 )
-from repro.experiments.sweeps import PROGRESS_ENV_VAR
+from repro.experiments.sweeps import PROGRESS_ENV_VAR, progress_enabled
+from repro.obs import TRACE_ENV_VAR
 
 __all__ = ["main"]
 
@@ -100,6 +101,16 @@ def main(argv: list[str] | None = None) -> int:
         help="print one stderr line per completed sweep chunk (same as REPRO_PROGRESS=1)",
     )
     parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="1",
+        default=None,
+        metavar="DIR",
+        help="record a span trace of the campaign: rounds, cells, sweeps and "
+        f"pool tasks spool under DIR (default ./trace; same as {TRACE_ENV_VAR}=DIR); "
+        "render with 'cprecycle-experiments trace-report DIR'",
+    )
+    parser.add_argument(
         "--max-retries",
         type=int,
         default=None,
@@ -124,6 +135,8 @@ def main(argv: list[str] | None = None) -> int:
             default_engine()
         resolve_workers(args.workers)
         policy = FailurePolicy.from_env(args.max_retries, args.task_timeout)
+        if not args.progress:
+            progress_enabled()
     except ValueError as error:
         parser.error(str(error))
 
@@ -142,6 +155,8 @@ def main(argv: list[str] | None = None) -> int:
     overrides: dict[str, str] = {}
     if args.progress:
         overrides[PROGRESS_ENV_VAR] = "1"
+    if args.trace is not None:
+        overrides[TRACE_ENV_VAR] = args.trace
     if args.max_retries is not None:
         overrides[RETRIES_ENV_VAR] = str(args.max_retries)
     if args.task_timeout is not None:

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.api.campaign import CampaignSpec, PrecisionSpec
 from repro.api.experiment import (
     expand_psr_points,
@@ -278,99 +279,118 @@ def run_campaign(
     saved_cache = os.environ.get(CACHE_ENV_VAR)
     os.environ[CACHE_ENV_VAR] = str(workspace / ".cache")
     try:
-        while True:
-            batch: list[tuple[_Cell, int, int]] = []
-            for cell in cells.values():
-                done = cell.n_done
-                if cell.converged or done >= cell.max_packets:
-                    continue
-                target = next_total(done, cell.min_packets, cell.max_packets, cell.growth)
-                if target > done:
-                    batch.append((cell, done, target - done))
-            if not batch:
-                break
-            tasks = [
-                replace(cell.point, first_packet=done, n_packets=count)
-                for cell, done, count in batch
-            ]
-            outcomes = execute_points(
-                run_sweep_point_counts, tasks, n_workers=n_workers, policy=policy
-            )
-            for (cell, done, count), outcome in zip(batch, outcomes):
-                cell.absorb(outcome, count)
-            manifest.rounds_completed += 1
-            checkpoint()
+        # One trace root for the whole campaign: sampling rounds,
+        # checkpoints and analysis experiments all nest under it (the
+        # sweep layer's own roots become nested spans automatically).
+        with obs.tracing("campaign", campaign=spec.name, hash=campaign_hash):
+            while True:
+                batch: list[tuple[_Cell, int, int]] = []
+                for cell in cells.values():
+                    done = cell.n_done
+                    if cell.converged or done >= cell.max_packets:
+                        continue
+                    target = next_total(done, cell.min_packets, cell.max_packets, cell.growth)
+                    if target > done:
+                        batch.append((cell, done, target - done))
+                if not batch:
+                    break
+                with obs.span(
+                    "campaign.round",
+                    round=manifest.rounds_completed + 1,
+                    n_cells=len(batch),
+                    n_packets=sum(count for _, _, count in batch),
+                ):
+                    tasks = [
+                        replace(cell.point, first_packet=done, n_packets=count)
+                        for cell, done, count in batch
+                    ]
+                    outcomes = execute_points(
+                        run_sweep_point_counts, tasks, n_workers=n_workers, policy=policy
+                    )
+                    for (cell, done, count), outcome in zip(batch, outcomes):
+                        cell.absorb(outcome, count)
+                        obs.event(
+                            "campaign.cell",
+                            key=cell.key[:12],
+                            rounds=cell.rounds,
+                            spent=cell.n_done,
+                            converged=cell.converged,
+                        )
+                manifest.rounds_completed += 1
+                with obs.span("campaign.checkpoint", n_cells=len(cells)):
+                    checkpoint()
 
-        checkpoint()  # cells may all be converged already on resume
+            checkpoint()  # cells may all be converged already on resume
 
-        store = ResultStore(workspace)
-        results: dict[str, FigureResult] = {}
-        experiment_summaries: list[dict[str, Any]] = []
-        adaptive_packets = sum(cell.n_done for cell in cells.values())
-        fixed_packets = 0
-        for name, member in resolved.items():
-            if member.kind == "psr":
-                keys, contexts = grids[name]
-                fixed_packets += len(keys) * member.n_packets
-                rates = [
+            store = ResultStore(workspace)
+            results: dict[str, FigureResult] = {}
+            experiment_summaries: list[dict[str, Any]] = []
+            adaptive_packets = sum(cell.n_done for cell in cells.values())
+            fixed_packets = 0
+            for name, member in resolved.items():
+                if member.kind == "psr":
+                    keys, contexts = grids[name]
+                    fixed_packets += len(keys) * member.n_packets
+                    rates = [
+                        {
+                            receiver: 100.0 * psr(*cells[key].counts[receiver])
+                            for receiver in cells[key].counts
+                        }
+                        for key in keys
+                    ]
+                    ci = [dict(cells[key].ci_pct()) for key in keys]
+                    spent = [{r: cells[key].n_done for r in cells[key].counts} for key in keys]
+                    result = series_from_outcomes(member, contexts, rates)
+                    ci_series = series_from_outcomes(member, contexts, ci).series
+                    spent_series = series_from_outcomes(member, contexts, spent).series
+                    summary_series = {
+                        label: {
+                            "psr_percent": values,
+                            "ci_halfwidth_pct": ci_series[label],
+                            "n_packets": spent_series[label],
+                        }
+                        for label, values in result.series.items()
+                    }
+                    extra = {
+                        "campaign": spec.name,
+                        "adaptive": {
+                            "precision": precisions[name].to_dict(),
+                            "ci_halfwidth_pct": ci_series,
+                            "n_packets": spent_series,
+                        },
+                    }
+                else:
+                    with obs.span("campaign.analysis", experiment=name):
+                        result = run_experiment_spec(member, profile, n_workers=n_workers)
+                    summary_series = {
+                        label: {"values": values} for label, values in result.series.items()
+                    }
+                    extra = {"campaign": spec.name}
+                results[name] = result
+                store.save(
+                    name,
+                    result,
+                    profile=profile,
+                    engine=(
+                        (member.engine if member.engine is not None else default_engine())
+                        if member.kind == "psr"
+                        else None
+                    ),
+                    spec_hash=spec_hash(member),
+                    extra=extra,
+                )
+                experiment_summaries.append(
                     {
-                        receiver: 100.0 * psr(*cells[key].counts[receiver])
-                        for receiver in cells[key].counts
+                        "name": name,
+                        "kind": member.kind,
+                        "figure": member.figure,
+                        "title": member.title,
+                        "x_label": result.x_label,
+                        "x_values": list(result.x_values),
+                        "series": summary_series,
+                        "spec_hash": spec_hash(member),
                     }
-                    for key in keys
-                ]
-                ci = [dict(cells[key].ci_pct()) for key in keys]
-                spent = [{r: cells[key].n_done for r in cells[key].counts} for key in keys]
-                result = series_from_outcomes(member, contexts, rates)
-                ci_series = series_from_outcomes(member, contexts, ci).series
-                spent_series = series_from_outcomes(member, contexts, spent).series
-                summary_series = {
-                    label: {
-                        "psr_percent": values,
-                        "ci_halfwidth_pct": ci_series[label],
-                        "n_packets": spent_series[label],
-                    }
-                    for label, values in result.series.items()
-                }
-                extra = {
-                    "campaign": spec.name,
-                    "adaptive": {
-                        "precision": precisions[name].to_dict(),
-                        "ci_halfwidth_pct": ci_series,
-                        "n_packets": spent_series,
-                    },
-                }
-            else:
-                result = run_experiment_spec(member, profile, n_workers=n_workers)
-                summary_series = {
-                    label: {"values": values} for label, values in result.series.items()
-                }
-                extra = {"campaign": spec.name}
-            results[name] = result
-            store.save(
-                name,
-                result,
-                profile=profile,
-                engine=(
-                    (member.engine if member.engine is not None else default_engine())
-                    if member.kind == "psr"
-                    else None
-                ),
-                spec_hash=spec_hash(member),
-                extra=extra,
-            )
-            experiment_summaries.append(
-                {
-                    "name": name,
-                    "kind": member.kind,
-                    "figure": member.figure,
-                    "title": member.title,
-                    "x_label": result.x_label,
-                    "x_values": list(result.x_values),
-                    "series": summary_series,
-                    "spec_hash": spec_hash(member),
-                }
-            )
+                )
     finally:
         if saved_cache is None:
             os.environ.pop(CACHE_ENV_VAR, None)

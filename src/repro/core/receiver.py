@@ -24,6 +24,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channel.scenario import ReceivedWaveform
 from repro.core.config import CPRecycleConfig
 from repro.core.interference_model import InterferenceModel
@@ -94,7 +95,8 @@ class CPRecycleReceiver(OfdmReceiverBase):
         # The pooled model below spans every packet of a group; no single
         # per-frame model exists, so do not leave a stale one behind.
         self._last_model = None
-        fronts = self.front_end.process_batch(rxs)
+        with obs.span("engine.frontend", n_packets=len(rxs)):
+            fronts = self.front_end.process_batch(rxs)
         observations = [front.data_observations() for front in fronts]
         groups: dict[tuple, list[int]] = {}
         for index, front in enumerate(fronts):
@@ -107,12 +109,14 @@ class CPRecycleReceiver(OfdmReceiverBase):
             constellation = group_fronts[0].spec.mcs.constellation
             n_data = observations[indices[0]].shape[2]
             stacked_obs = np.concatenate([observations[i] for i in indices], axis=2)
-            stacked_deviations = np.concatenate(
-                [InterferenceModel.deviations_from_front_end(f) for f in group_fronts], axis=0
-            )
-            model = InterferenceModel(stacked_deviations, self.config)
-            decoder = FixedSphereMlDecoder(constellation, self.config)
-            decisions = decoder.decode_frame(stacked_obs, model, batched=True)
+            with obs.span("engine.kde_ml", n_packets=len(indices)):
+                stacked_deviations = np.concatenate(
+                    [InterferenceModel.deviations_from_front_end(f) for f in group_fronts],
+                    axis=0,
+                )
+                model = InterferenceModel(stacked_deviations, self.config)
+                decoder = FixedSphereMlDecoder(constellation, self.config)
+                decisions = decoder.decode_frame(stacked_obs, model, batched=True)
             for position, i in enumerate(indices):
                 packet_decisions = np.ascontiguousarray(
                     decisions[:, position * n_data : (position + 1) * n_data]

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.channel.scenario import Scenario
 from repro.receiver.base import OfdmReceiverBase
 from repro.receiver.decode_chain import (
@@ -218,21 +219,28 @@ def packet_success_rate(
     if engine == "fast":
         for start in range(0, n_packets, FAST_ENGINE_BATCH):
             count = min(FAST_ENGINE_BATCH, n_packets - start)
-            rxs = scenario.realize_batch(count, seed, first_index=first_packet + start)
+            with obs.span("engine.realize", n_packets=count):
+                rxs = scenario.realize_batch(count, seed, first_index=first_packet + start)
             for name, receiver in receivers.items():
-                coded[name].extend(d.coded_bits for d in receiver.demodulate_batch(rxs))
+                with obs.span("engine.demodulate", receiver=name, n_packets=count):
+                    coded[name].extend(d.coded_bits for d in receiver.demodulate_batch(rxs))
     else:
-        for index in range(n_packets):
-            rx = scenario.realize(child_rng(seed, first_packet + index))
-            for name, receiver in receivers.items():
-                coded[name].append(receiver.demodulate(rx).coded_bits)
+        # One coarse span for the whole per-packet loop: the reference
+        # engine exists for bit-exact verification, not profiling, and
+        # per-packet spans would dominate the trace.
+        with obs.span("engine.reference", n_packets=n_packets):
+            for index in range(n_packets):
+                rx = scenario.realize(child_rng(seed, first_packet + index))
+                for name, receiver in receivers.items():
+                    coded[name].append(receiver.demodulate(rx).coded_bits)
 
     decode_batch = (
         decode_coded_bits_batch if engine == "fast" else decode_coded_bits_batch_reference
     )
     stats: dict[str, LinkResult] = {}
     for name in receivers:
-        frames = decode_batch(spec, np.stack(coded[name]))
+        with obs.span("engine.fec", receiver=name, n_packets=n_packets):
+            frames = decode_batch(spec, np.stack(coded[name]))
         successes = tuple(bool(frame.crc_ok) for frame in frames)
         stats[name] = LinkResult(
             receiver=name,

@@ -45,6 +45,7 @@ paths lives in :mod:`repro.experiments.faults` (``REPRO_FAULTS``).
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 import pickle
 import sys
@@ -55,8 +56,9 @@ from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
+from repro import obs
 from repro.experiments.faults import FaultPlan
-from repro.utils.sanitize import run_sanitized
+from repro.utils.sanitize import run_sanitized, task_digest
 
 __all__ = [
     "FailurePolicy",
@@ -214,10 +216,12 @@ class SupervisorStats:
 
     def snapshot(self) -> "SupervisorStats":
         """An independent copy (for before/after diffing)."""
+        _warn_if_worker("snapshot")
         return dataclasses.replace(self)
 
     def diff(self, earlier: "SupervisorStats") -> "SupervisorStats":
         """Events recorded since ``earlier`` was snapshotted."""
+        _warn_if_worker("diff")
         return SupervisorStats(
             **{
                 f.name: getattr(self, f.name) - getattr(earlier, f.name)
@@ -227,6 +231,24 @@ class SupervisorStats:
 
     def as_dict(self) -> dict[str, int]:
         return dataclasses.asdict(self)
+
+
+def _warn_if_worker(operation: str) -> None:
+    """Enforce the documented parent-only semantics of the counters.
+
+    The supervisor only ever runs in the parent, so a snapshot/diff taken
+    inside a pool worker reads an inert fork/spawn copy — always zeros,
+    never updated.  That has been documented since the counters landed but
+    silently returned misleading numbers; now it warns, naming the misuse.
+    """
+    if multiprocessing.parent_process() is not None:
+        warnings.warn(
+            f"SupervisorStats.{operation}() called in a worker process: the "
+            "recovery counters are parent-only (workers hold an inert copy "
+            "that is never updated); take snapshots/diffs in the parent",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 #: Parent-process recovery counters (see :func:`supervisor_stats`).  Every
@@ -329,6 +351,7 @@ def _run_task(
     plan: FaultPlan | None,
     ordinal: int,
     in_pool: bool,
+    trace: str | None = None,
 ) -> Any:
     """Execute one task (in a pool worker or the parent), injecting faults.
 
@@ -337,10 +360,30 @@ def _run_task(
     environment.  Runs under the determinism sanitizer when
     ``REPRO_SANITIZE`` is set — both the pooled and the serial path route
     through here, so spools cover every worker count identically.
+
+    ``trace`` (the parent's dispatch id, passed only when the parent is
+    tracing) makes the execution a traced ``task`` section: in a pool
+    worker that opens a per-task spool; in the parent it nests as a span of
+    the sweep's record.  The dedup key ``<dispatch>/<ordinal>`` is shared
+    by every re-execution of the same task (retries, timeout twins), so the
+    merge keeps exactly one; the ``key`` attr is the engine-normalised task
+    digest, aligning fast/reference traces task by task.
     """
-    if plan is not None:
-        plan.apply(ordinal, in_pool=in_pool)
-    return run_sanitized(fn, task)
+    if trace is None:
+        if plan is not None:
+            plan.apply(ordinal, in_pool=in_pool)
+        return run_sanitized(fn, task)
+    with obs.tracing(
+        "task",
+        dedup=f"{trace}/{ordinal}",
+        dispatch=trace,
+        ordinal=ordinal,
+        in_pool=in_pool,
+        key=task_digest(task)[:16],
+    ):
+        if plan is not None:
+            plan.apply(ordinal, in_pool=in_pool)
+        return run_sanitized(fn, task)
 
 
 _UNSET = object()
@@ -373,6 +416,9 @@ class _Supervisor:
         self.respawns = 0
         self.degraded = False
         self.hang_suspected = False
+        # Dispatch id naming this call's submit/task events in the trace;
+        # None (and therefore zero per-task work) when tracing is off.
+        self.dispatch = obs.next_dispatch_id() if obs.enabled() else None
 
     # -- pool lifecycle ----------------------------------------------------- #
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -407,6 +453,11 @@ class _Supervisor:
         if self.respawns < self.policy.max_pool_respawns:
             self.respawns += 1
             _STATS.pool_respawns += 1
+            obs.event(
+                "supervise.respawn",
+                respawn=self.respawns,
+                n_incomplete=n_incomplete,
+            )
             _log(
                 f"worker process died; respawning the pool "
                 f"(respawn {self.respawns}/{self.policy.max_pool_respawns}) and "
@@ -421,6 +472,7 @@ class _Supervisor:
             )
         self.degraded = True
         _STATS.degraded += 1
+        obs.event("supervise.degraded", n_incomplete=n_incomplete)
         _log(
             "process pool died again; degrading to serial in-process execution "
             "for the remaining tasks"
@@ -451,6 +503,19 @@ class _Supervisor:
                     return results
 
     def _submit(self, chunk: Sequence[Any], base: int, i: int) -> Future[Any]:
+        if self.dispatch is not None:
+            # Payload size is measured with an extra serialisation, paid
+            # only while tracing (the pool pickles the dispatch itself).
+            with obs.span("dispatch.serialize", dispatch=self.dispatch, ordinal=base + i):
+                payload = len(pickle.dumps((self.fn, chunk[i])))
+                obs.add(bytes=payload)
+            future = self._ensure_pool().submit(
+                _run_task, self.fn, chunk[i], self.plan, base + i, True, self.dispatch
+            )
+            obs.event(
+                "dispatch.submit", dispatch=self.dispatch, ordinal=base + i, bytes=payload
+            )
+            return future
         return self._ensure_pool().submit(
             _run_task, self.fn, chunk[i], self.plan, base + i, True
         )
@@ -482,6 +547,8 @@ class _Supervisor:
             future = futures[index]
             try:
                 results[index] = future.result(timeout=self.policy.task_timeout)
+                if self.dispatch is not None:
+                    obs.event("dispatch.result", dispatch=self.dispatch, ordinal=base + index)
                 index += 1
             except TimeoutError:
                 future.cancel()
@@ -540,6 +607,7 @@ class _Supervisor:
         if attempts[i] > self.policy.max_retries:
             raise SweepTaskError(ordinal, attempts[i], reason, _task_key(task)) from cause
         _STATS.retries += 1
+        obs.event("supervise.retry", ordinal=ordinal, attempt=attempts[i], reason=reason)
         delay = self.policy.backoff_delay(attempts[i] - 1)
         _log(
             f"task {ordinal} {reason}; "
@@ -553,7 +621,9 @@ class _Supervisor:
         """In-process execution with the same retry budget as the pool path."""
         while True:
             try:
-                return _run_task(self.fn, task, self.plan, ordinal, in_pool=False)
+                return _run_task(
+                    self.fn, task, self.plan, ordinal, in_pool=False, trace=self.dispatch
+                )
             except Exception as error:  # noqa: BLE001 — retried, then wrapped
                 attempts += 1
                 if attempts > self.policy.max_retries:
@@ -564,6 +634,12 @@ class _Supervisor:
                         _task_key(task),
                     ) from error
                 _STATS.retries += 1
+                obs.event(
+                    "supervise.retry",
+                    ordinal=ordinal,
+                    attempt=attempts,
+                    reason=f"failed: {type(error).__name__}",
+                )
                 delay = self.policy.backoff_delay(attempts - 1)
                 _log(
                     f"task {ordinal} failed: {type(error).__name__}: {error}; "
@@ -636,14 +712,20 @@ def parallel_map_chunked(
         )
         use_pool = False
 
-    supervisor = _Supervisor(fn, workers, policy, plan, total=len(tasks), pooled=use_pool)
-    results: list[_R] = []
-    try:
-        for start in range(0, len(tasks), chunk_size):
-            chunk_results = supervisor.run_chunk(tasks[start : start + chunk_size], start)
-            results.extend(chunk_results)
-            if on_chunk is not None:
-                on_chunk(start, chunk_results)
-    finally:
-        supervisor.close()
-    return results
+    with obs.tracing(
+        "parallel.map", n_tasks=len(tasks), workers=workers, pooled=use_pool
+    ):
+        stats_before = _STATS.snapshot() if obs.enabled() else None
+        supervisor = _Supervisor(fn, workers, policy, plan, total=len(tasks), pooled=use_pool)
+        results: list[_R] = []
+        try:
+            for start in range(0, len(tasks), chunk_size):
+                chunk_results = supervisor.run_chunk(tasks[start : start + chunk_size], start)
+                results.extend(chunk_results)
+                if on_chunk is not None:
+                    on_chunk(start, chunk_results)
+        finally:
+            supervisor.close()
+        if stats_before is not None:
+            obs.event("supervise.stats", **_STATS.diff(stats_before).as_dict())
+        return results

@@ -44,7 +44,7 @@ Usage::
     cprecycle-experiments lint --project src/ tests/
                                           # determinism/process-safety static
                                           # analysis (per-file rules
-                                          # RPR001-RPR006 plus the
+                                          # RPR001-RPR006 and RPR011 plus the
                                           # whole-program rules RPR007-RPR010
                                           # with --project, see repro.lint);
                                           # also available as repro-lint /
@@ -55,6 +55,18 @@ Usage::
                                           # engine or worker count; exits 1 on
                                           # any mismatch (see
                                           # repro.utils.sanitize)
+    cprecycle-experiments fig4 --trace traces/fig4 --workers 2
+                                          # span-traced run: every sweep,
+                                          # dispatch and pool task spools its
+                                          # span tree under the directory
+                                          # (same as REPRO_TRACE=DIR; bare
+                                          # --trace uses ./trace)
+    cprecycle-experiments trace-report traces/fig4 [DIR...]
+                                          # merge trace spools into trace.json
+                                          # + a chrome://tracing export and
+                                          # print span/wallclock/recovery
+                                          # reports (several DIRs compare
+                                          # engines or worker counts)
 """
 
 from __future__ import annotations
@@ -89,7 +101,8 @@ from repro.experiments.parallel import (
 )
 from repro.experiments.results import format_csv, format_table
 from repro.experiments.store import CACHE_ENV_VAR, ResultStore
-from repro.experiments.sweeps import PROGRESS_ENV_VAR
+from repro.experiments.sweeps import PROGRESS_ENV_VAR, progress_enabled
+from repro.obs import TRACE_ENV_VAR
 
 __all__ = ["EXPERIMENTS", "BUILTIN_SPECS", "builtin_spec", "run_experiment", "main"]
 
@@ -175,6 +188,11 @@ def _print_registries() -> None:
     print("lint rules (run as: cprecycle-experiments lint src/):")
     for code, rule_name, summary in rules_table():
         print(f"  {code}  {rule_name:<20} {summary}")
+    print("observability (repro.obs):")
+    print(
+        f"  trace            span-traced runs via --trace [DIR] or {TRACE_ENV_VAR}=1|DIR; "
+        "report: cprecycle-experiments trace-report DIR [DIR...]"
+    )
 
 
 def _sanitize_diff_main(argv: list[str]) -> int:
@@ -238,6 +256,12 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:], prog="cprecycle-experiments lint")
     if argv and argv[0] == "sanitize-diff":
         return _sanitize_diff_main(argv[1:])
+    if argv and argv[0] == "trace-report":
+        # Trace merge/report tooling (see repro.obs.report); lazy so plain
+        # figure runs do not import the report layer.
+        from repro.obs.report import trace_report_main
+
+        return trace_report_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Regenerate the CPRecycle evaluation figures")
     parser.add_argument(
@@ -335,6 +359,17 @@ def main(argv: list[str] | None = None) -> int:
         "and elapsed time; same as REPRO_PROGRESS=1)",
     )
     parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="1",
+        default=None,
+        metavar="DIR",
+        help="record a span trace of the run: every sweep, dispatch and pool "
+        "task spools its span tree under DIR (default ./trace; same as "
+        f"{TRACE_ENV_VAR}=DIR); render with 'cprecycle-experiments "
+        "trace-report DIR'. Tracing never changes results",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print every registered experiment, analysis, receiver and network "
@@ -369,6 +404,8 @@ def main(argv: list[str] | None = None) -> int:
             default_engine()
         resolve_workers(args.workers)
         FailurePolicy.from_env(args.max_retries, args.task_timeout)
+        if not args.progress:
+            progress_enabled()
     except ValueError as error:
         parser.error(str(error))
 
@@ -419,6 +456,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides[CACHE_ENV_VAR] = str(out_dir / ".cache")
     if args.progress:
         overrides[PROGRESS_ENV_VAR] = "1"
+    if args.trace is not None:
+        overrides[TRACE_ENV_VAR] = args.trace
     if args.max_retries is not None:
         overrides[RETRIES_ENV_VAR] = str(args.max_retries)
     if args.task_timeout is not None:

@@ -259,9 +259,10 @@ class ResultStore:
             "config_hash": config_hash(*key_parts),
             "spec_hash": spec_hash,
             "config": config,
-            # repro-lint: disable=RPR002 -- provenance timestamp recording when
-            # the artifact was produced; excluded from config_hash, so results
-            # stay pure functions of the configuration.
+            # repro-lint: disable=RPR002,RPR011 -- provenance timestamp (not a
+            # measured interval) recording when the artifact was produced;
+            # excluded from config_hash, so results stay pure functions of the
+            # configuration.
             "created_unix": round(time.time(), 3),
             "result": result.to_dict(),
         }

@@ -29,8 +29,6 @@ of which worker (or run) executes it.
 from __future__ import annotations
 
 import os
-import sys
-import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,9 +36,11 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.link import default_engine, packet_success_rate
 from repro.experiments.parallel import FailurePolicy, parallel_map_chunked
 from repro.experiments.store import CACHE_ENV_VAR, PointCache, stable_key
+from repro.obs.progress import PROGRESS_ENV_VAR, ProgressReporter, progress_enabled
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from repro.api.specs import ReceiverSpec, ScenarioSpec
@@ -55,8 +55,9 @@ __all__ = [
     "PROGRESS_ENV_VAR",
 ]
 
-#: Environment variable enabling per-chunk progress lines on stderr.
-PROGRESS_ENV_VAR = "REPRO_PROGRESS"
+#: Progress reporting moved into the observability layer so ``--progress``
+#: and ``--trace`` compose; ``PROGRESS_ENV_VAR``/``progress_enabled`` stay
+#: importable from here for existing callers (see :mod:`repro.obs.progress`).
 
 
 def sir_axis(low_db: float, high_db: float, n_points: int) -> list[float]:
@@ -95,34 +96,6 @@ def _point_key(task: Any) -> str:
     return stable_key(task)
 
 
-def progress_enabled() -> bool:
-    """Opt-in progress reporting, selected by ``REPRO_PROGRESS`` (or
-    ``--progress`` on the experiment runner, which sets the variable)."""
-    return os.environ.get(PROGRESS_ENV_VAR, "").strip().lower() in ("1", "true", "yes", "on")
-
-
-class _ProgressReporter:
-    """One stderr line per completed chunk: points done/total and elapsed time."""
-
-    def __init__(self, fn: Callable[..., Any], total: int, cached: int) -> None:
-        self.label = getattr(fn, "__qualname__", getattr(fn, "__name__", "task"))
-        self.total = total
-        self.done = cached
-        self.started = time.monotonic()
-        if cached:
-            self.emit(0)
-
-    def emit(self, newly_done: int) -> None:
-        self.done += newly_done
-        elapsed = time.monotonic() - self.started
-        print(
-            f"[sweep] {self.label}: {self.done}/{self.total} points "
-            f"({elapsed:.1f}s elapsed)",
-            file=sys.stderr,
-            flush=True,
-        )
-
-
 def execute_points(
     fn: Callable[[Any], Any],
     tasks: Iterable[Any],
@@ -147,11 +120,28 @@ def execute_points(
     environment variables.  Because every task derives its randomness from
     seeds it carries, any retried or re-dispatched point returns an outcome
     bit-identical to an undisturbed run's.
+
+    Under ``REPRO_TRACE`` the whole call is one traced section — cache
+    lookup, pool dispatch and result merge each get a span, and the
+    supervised executor adds per-task serialize/submit/compute events (see
+    :mod:`repro.obs`).  Tracing never changes an outcome: spans only time
+    existing statements.
     """
     tasks = list(tasks)
+    label = getattr(fn, "__qualname__", getattr(fn, "__name__", "task"))
+    with obs.tracing("sweep.execute_points", label=label, n_tasks=len(tasks)):
+        return _execute(fn, tasks, n_workers, policy)
+
+
+def _execute(
+    fn: Callable[[Any], Any],
+    tasks: list[Any],
+    n_workers: int | None,
+    policy: FailurePolicy | None,
+) -> list[Any]:
     cache = _point_cache_for(fn)
     reporter = (
-        _ProgressReporter(fn, total=len(tasks), cached=0)
+        ProgressReporter(fn, total=len(tasks), cached=0)
         if cache is None and progress_enabled() and tasks
         else None
     )
@@ -172,25 +162,29 @@ def execute_points(
             policy=policy,
         )
 
-    keys = [_point_key(task) for task in tasks]
-    outcomes: dict[int, Any] = {
-        index: cache.get(key) for index, key in enumerate(keys) if key in cache
-    }
-    pending = [index for index in range(len(tasks)) if index not in outcomes]
+    with obs.span("sweep.cache_lookup", n_tasks=len(tasks)):
+        keys = [_point_key(task) for task in tasks]
+        outcomes: dict[int, Any] = {
+            index: cache.get(key) for index, key in enumerate(keys) if key in cache
+        }
+        pending = [index for index in range(len(tasks)) if index not in outcomes]
+        obs.add(cache_hits=len(outcomes), cache_misses=len(pending))
     if progress_enabled() and tasks:
-        reporter = _ProgressReporter(fn, total=len(tasks), cached=len(outcomes))
+        reporter = ProgressReporter(fn, total=len(tasks), cached=len(outcomes))
 
     def flush(start: int, chunk_results: list[Any]) -> None:
-        chunk = pending[start : start + len(chunk_results)]
-        cache.update({keys[i]: outcome for i, outcome in zip(chunk, chunk_results)})
-        outcomes.update(dict(zip(chunk, chunk_results)))
+        with obs.span("sweep.flush", n_results=len(chunk_results)):
+            chunk = pending[start : start + len(chunk_results)]
+            cache.update({keys[i]: outcome for i, outcome in zip(chunk, chunk_results)})
+            outcomes.update(dict(zip(chunk, chunk_results)))
         if reporter is not None:
             reporter.emit(len(chunk_results))
 
     parallel_map_chunked(
         fn, [tasks[i] for i in pending], n_workers=n_workers, on_chunk=flush, policy=policy
     )
-    return [outcomes[index] for index in range(len(tasks))]
+    with obs.span("sweep.merge", n_tasks=len(tasks)):
+        return [outcomes[index] for index in range(len(tasks))]
 
 
 # --------------------------------------------------------------------------- #

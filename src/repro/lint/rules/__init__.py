@@ -70,6 +70,7 @@ def _load_rules() -> tuple[Rule, ...]:
     from repro.lint.rules.rpr008_shared_state import SharedMutableStateRule
     from repro.lint.rules.rpr009_pickle_reach import PicklabilityReachRule
     from repro.lint.rules.rpr010_registry_coherence import RegistryCoherenceRule
+    from repro.lint.rules.rpr011_untraced_timing import UntracedTimingRule
 
     rules = (
         SeedAliasingRule(),
@@ -82,6 +83,7 @@ def _load_rules() -> tuple[Rule, ...]:
         SharedMutableStateRule(),
         PicklabilityReachRule(),
         RegistryCoherenceRule(),
+        UntracedTimingRule(),
     )
     return tuple(sorted(rules, key=lambda rule: rule.code))
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.phy.convolutional import CONSTRAINT_LENGTH, GENERATORS_OCTAL, generator_taps
 
 __all__ = ["ViterbiDecoder", "viterbi_decode", "viterbi_decode_batch"]
@@ -132,7 +133,8 @@ class ViterbiDecoder:
         # Branch costs per position: 0 when erased, 0/1 Hamming otherwise.
         cost_a = _bit_costs(coded[:, 0::2].astype(np.float64), known[:, 0::2])
         cost_b = _bit_costs(coded[:, 1::2].astype(np.float64), known[:, 1::2])
-        return self._run(cost_a, cost_b)
+        with obs.span("engine.viterbi", batch=int(coded.shape[0]), soft=False):
+            return self._run(cost_a, cost_b)
 
     def decode_soft_batch(self, llrs: np.ndarray) -> np.ndarray:
         """Decode a batch of soft codewords given per-bit LLRs.
@@ -146,7 +148,8 @@ class ViterbiDecoder:
         # Hypothesising bit=1 costs +llr relative to bit=0 (can be negative).
         cost_a = _soft_costs(llrs[:, 0::2])
         cost_b = _soft_costs(llrs[:, 1::2])
-        return self._run(cost_a, cost_b)
+        with obs.span("engine.viterbi", batch=int(llrs.shape[0]), soft=True):
+            return self._run(cost_a, cost_b)
 
     # ------------------------------------------------------------------ #
     def _run(self, cost_a: np.ndarray, cost_b: np.ndarray) -> np.ndarray:

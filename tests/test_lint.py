@@ -141,7 +141,9 @@ class TestNondeterminism:
                 return random.random() + time.time()
             """
         )
-        assert codes_of(diagnostics) == ["RPR002", "RPR002"]
+        # time.time in library code is both nondeterministic (RPR002) and an
+        # ad-hoc clock read outside the obs layer (RPR011).
+        assert codes_of(diagnostics) == ["RPR002", "RPR002", "RPR011"]
 
     def test_flags_datetime_now_and_uuid4(self):
         diagnostics = lint_snippet(
@@ -167,7 +169,10 @@ class TestNondeterminism:
                 return rng.standard_normal(8), time.perf_counter() - start
             """
         )
-        assert diagnostics == []
+        # Monotonic clocks never trip the *determinism* rule; since the obs
+        # layer landed they are RPR011's business instead (time library code
+        # through repro.obs spans).
+        assert codes_of(diagnostics) == ["RPR011", "RPR011"]
 
     def test_import_alias_resolution(self):
         diagnostics = lint_snippet(
@@ -452,6 +457,82 @@ class TestSpecSchema:
 
 
 # --------------------------------------------------------------------------- #
+# RPR011 — untraced timing                                                    #
+# --------------------------------------------------------------------------- #
+class TestUntracedTiming:
+    def test_flags_perf_counter_in_library_code(self):
+        diagnostics = lint_snippet(
+            """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """
+        )
+        assert codes_of(diagnostics) == ["RPR011", "RPR011"]
+        assert "repro.obs" in diagnostics[0].message
+
+    def test_flags_aliased_import(self):
+        diagnostics = lint_snippet(
+            """
+            from time import monotonic as clock
+
+            def elapsed(start):
+                return clock() - start
+            """
+        )
+        assert codes_of(diagnostics) == ["RPR011"]
+
+    def test_obs_layer_is_exempt(self):
+        diagnostics = lint_snippet(
+            """
+            import time
+
+            def begin():
+                return time.perf_counter()
+            """,
+            module="repro.obs.tracer",
+        )
+        assert diagnostics == []
+
+    def test_scripts_and_tests_are_exempt(self):
+        diagnostics = lint_snippet(
+            """
+            import time
+
+            def bench():
+                return time.perf_counter()
+            """,
+            module="",
+        )
+        assert diagnostics == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        diagnostics = lint_snippet(
+            """
+            import time
+
+            def backoff(attempt):
+                time.sleep(0.1 * attempt)
+            """
+        )
+        assert diagnostics == []
+
+    def test_suppression_with_justification_silences(self):
+        diagnostics = lint_snippet(
+            """
+            import time
+
+            def created_at():
+                return time.perf_counter()  # repro-lint: disable=RPR011 -- spool sequencing only
+            """
+        )
+        assert diagnostics == []
+
+
+# --------------------------------------------------------------------------- #
 # Suppressions and RPR000                                                     #
 # --------------------------------------------------------------------------- #
 class TestSuppressions:
@@ -461,7 +542,7 @@ class TestSuppressions:
             import time
 
             def stamp():
-                return time.time()  # repro-lint: disable=RPR002 -- provenance metadata only
+                return time.time()  # repro-lint: disable=RPR002,RPR011 -- provenance metadata only
             """
         )
         assert diagnostics == []
@@ -472,8 +553,8 @@ class TestSuppressions:
             import time
 
             def stamp():
-                # repro-lint: disable=RPR002 -- provenance metadata only; excluded
-                # from every content hash, so results stay deterministic.
+                # repro-lint: disable=RPR002,RPR011 -- provenance metadata only;
+                # excluded from every content hash, so results stay deterministic.
                 return time.time()
             """
         )
@@ -484,10 +565,10 @@ class TestSuppressions:
         # test file* does not itself contain an unjustified suppression (the
         # self-check below lints tests/ and would flag it).
         source = (
-            "import time\n"
+            "import random\n"
             "\n"
-            "def stamp():\n"
-            "    return time.time()  # repro-lint: disa" "ble=RPR002\n"
+            "def draw():\n"
+            "    return random.random()  # repro-lint: disa" "ble=RPR002\n"
         )
         diagnostics = lint_source(source)
         assert codes_of(diagnostics) == ["RPR000"]
@@ -523,7 +604,7 @@ class TestOrdering:
                 path.write_text(json.dumps(record))
             """
         )
-        assert codes_of(diagnostics) == ["RPR002", "RPR005"]
+        assert codes_of(diagnostics) == ["RPR002", "RPR011", "RPR005"]
         assert [d.line for d in diagnostics] == sorted(d.line for d in diagnostics)
 
     def test_diagnostic_ordering_is_total(self):
@@ -549,7 +630,7 @@ class TestEngine:
     def test_rule_registry_complete_and_sorted(self):
         codes = [rule.code for rule in ALL_RULES]
         assert codes == sorted(codes)
-        assert codes == [f"RPR{i:03d}" for i in range(1, 11)]
+        assert codes == [f"RPR{i:03d}" for i in range(1, 12)]
 
     def test_rules_table_matches_registry(self):
         table = rules_table()
